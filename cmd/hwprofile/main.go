@@ -1,0 +1,35 @@
+// Command hwprofile runs the hardware profiling benchmark of paper §3.1: a
+// series of memcpy operations across buffer sizes, floating-point loops, a
+// flash read/write mix and handshake-like interconnect transfers. The
+// measured characteristics are translated into the Table 2 parameter values
+// and printed in the DBMS parameter-file format, to be placed before
+// startup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hybridndp/internal/hw"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts")
+	flag.Parse()
+
+	p := hw.Profiler{Base: hw.Cosmos(), Quick: *quick}
+	res := p.Run()
+
+	fmt.Println("# measured characteristics")
+	if err := res.Report(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hwprofile:", err)
+		os.Exit(1)
+	}
+	fmt.Println("\n# derived hardware-model parameter file (Table 2)")
+	if err := res.WriteParameterFile(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hwprofile:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n# host/device compute ratio: %.1f (paper: 31.2)\n", res.Model.ComputeRatio())
+}

@@ -1,0 +1,111 @@
+// Command jobbench regenerates the paper's evaluation tables and figures
+// (EDBT 2025, §5) against the synthetic JOB dataset and prints the same
+// rows/series the paper reports.
+//
+// Usage:
+//
+//	jobbench                         # every experiment except the slow sweeps
+//	jobbench -experiments all        # everything incl. Fig 12 / Fig 13
+//	jobbench -experiments fig12      # just the 113-query sweep
+//	jobbench -scale 0.1              # bigger dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybridndp/internal/harness"
+	"hybridndp/internal/hw"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.05, "JOB dataset scale (1.0 ≈ 3.9M rows)")
+		exps  = flag.String("experiments", "fast",
+			"comma list of calib,fig2,fig11,table3,fig12,fig13,fig14,fig15,fig16,fig17 | fast | all")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	switch *exps {
+	case "all":
+		for _, e := range []string{"calib", "fig2", "fig11", "table3", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"} {
+			want[e] = true
+		}
+	case "fast":
+		for _, e := range []string{"calib", "fig2", "fig11", "table3", "fig14", "fig15", "fig16", "fig17"} {
+			want[e] = true
+		}
+	default:
+		for _, e := range strings.Split(*exps, ",") {
+			want[strings.TrimSpace(e)] = true
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("loading JOB at scale %g ...\n", *scale)
+	h, err := harness.New(*scale, hw.Cosmos())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jobbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded in %v (%d tables)\n", time.Since(start).Round(time.Millisecond), len(h.DS.Cat.Tables()))
+
+	w := os.Stdout
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "jobbench:", err)
+		os.Exit(1)
+	}
+	if want["calib"] {
+		h.Calibration(w)
+	}
+	if want["fig2"] {
+		if _, err := h.Fig2(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig11"] {
+		if _, err := h.Fig11(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["table3"] {
+		if _, err := h.Table3(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig12"] {
+		if _, err := h.Fig12(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig13"] {
+		if _, err := h.Fig13(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig14"] {
+		if _, err := h.Fig14(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig15"] {
+		if _, err := h.Fig15(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig16"] {
+		if _, err := h.Fig16(w); err != nil {
+			fail(err)
+		}
+	}
+	if want["fig17"] {
+		if _, err := h.Fig17Table4(w); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,3 @@
+module hybridndp
+
+go 1.22

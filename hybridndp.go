@@ -1,0 +1,174 @@
+// Package hybridndp is the public façade of the hybridNDP reproduction
+// (Knödler et al., EDBT 2025): dynamic operation offloading and cooperative
+// query execution in smart-storage settings.
+//
+// A System bundles the full stack — simulated flash, the nKV column-family
+// LSM store, the relational catalog, the cost-model-driven optimizer and the
+// cooperative executor with its device simulator. Typical use:
+//
+//	sys, _ := hybridndp.OpenJOB(0.05, hw.Cosmos())
+//	q := job.QueryByName("8c")
+//	report, decision, _ := sys.RunAuto(q)
+//	fmt.Println(decision.StrategyLabel(), report.Elapsed)
+//
+// Forced strategies (host-only over the BLK or native stack, full NDP, or
+// any hybrid split Hk) run through System.Run, which is how the benchmark
+// harness regenerates every table and figure of the paper.
+package hybridndp
+
+import (
+	"fmt"
+
+	"hybridndp/internal/coop"
+	"hybridndp/internal/core"
+	"hybridndp/internal/flash"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/job"
+	"hybridndp/internal/kv"
+	"hybridndp/internal/lsm"
+	"hybridndp/internal/optimizer"
+	"hybridndp/internal/query"
+	"hybridndp/internal/sql"
+	"hybridndp/internal/table"
+)
+
+// System is one assembled hybridNDP instance.
+type System struct {
+	Model     hw.Model
+	Flash     *flash.Flash
+	DB        *kv.DB
+	Catalog   *table.Catalog
+	Optimizer *optimizer.Optimizer
+	Executor  *coop.Executor
+	// Controller records every automated run's estimate-vs-measured outcome
+	// and hosts the optional calibration feedback loop.
+	Controller *core.Controller
+
+	// JOB is set when the system was opened with OpenJOB.
+	JOB *job.Dataset
+}
+
+// New creates an empty system (no tables) over fresh simulated flash.
+func New(m hw.Model) (*System, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	fl := flash.New(m, 0)
+	db := kv.Open(fl, m, lsm.DefaultConfig())
+	cat := table.NewCatalog(db)
+	ctrl := core.New(cat, db, m)
+	return &System{
+		Model:      m,
+		Flash:      fl,
+		DB:         db,
+		Catalog:    cat,
+		Optimizer:  ctrl.Opt,
+		Executor:   ctrl.Exec,
+		Controller: ctrl,
+	}, nil
+}
+
+// OpenJOB loads the Join-Order Benchmark dataset at the given scale (1.0 ≈
+// 3.9 M rows; the paper's volume corresponds to ≈19) and assembles the
+// system around it.
+func OpenJOB(scale float64, m hw.Model) (*System, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	ds, err := job.Load(scale, m)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := core.New(ds.Cat, ds.DB, ds.Model)
+	return &System{
+		Model:      ds.Model, // job.Load scales the device memory reservations
+		Flash:      ds.Flash,
+		DB:         ds.DB,
+		Catalog:    ds.Cat,
+		Optimizer:  ctrl.Opt,
+		Executor:   ctrl.Exec,
+		Controller: ctrl,
+		JOB:        ds,
+	}, nil
+}
+
+// Query parses a SQL string (the JOB dialect: SELECT-PROJECT-JOIN-AGGREGATE
+// with a conjunctive WHERE) and validates it against the catalog.
+func (s *System) Query(sqlText string) (*query.Query, error) {
+	q, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(s.Catalog); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Decide plans the query and returns the optimizer's strategy decision,
+// including the full cost picture (host/NDP totals, per-split cumulative
+// costs, c_target).
+func (s *System) Decide(q *query.Query) (*optimizer.Decision, error) {
+	return s.Optimizer.Decide(q)
+}
+
+// DecisionStrategy converts an optimizer decision into an executable
+// strategy.
+func DecisionStrategy(d *optimizer.Decision) coop.Strategy {
+	switch {
+	case d.Hybrid:
+		split := d.Split
+		if split == 0 {
+			split = -1
+		}
+		return coop.Strategy{Kind: coop.Hybrid, Split: split}
+	case d.NDP:
+		return coop.Strategy{Kind: coop.NDPOnly}
+	default:
+		return coop.Strategy{Kind: coop.HostNative}
+	}
+}
+
+// Run executes the query under a forced strategy.
+func (s *System) Run(q *query.Query, strat coop.Strategy) (*coop.Report, error) {
+	p, err := s.Optimizer.BuildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.Executor.Run(p, strat)
+}
+
+// RunAuto lets the optimizer decide (the hybridNDP mode of the paper) and
+// executes that choice through the controller, which records the
+// estimate-vs-measured outcome (see System.Controller.Quality).
+func (s *System) RunAuto(q *query.Query) (*coop.Report, *optimizer.Decision, error) {
+	return s.Controller.Run(q)
+}
+
+// RunMulti executes a hybrid split across n simulated smart-storage devices
+// (paper §4: multiple devices with their own PQEP). The driving table is
+// partitioned by primary-key quantiles across the fleet.
+func (s *System) RunMulti(q *query.Query, split, devices int) (*coop.MultiReport, error) {
+	p, err := s.Optimizer.BuildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.Executor.RunHybridMulti(p, coop.Strategy{Kind: coop.Hybrid, Split: split}, devices)
+}
+
+// Splits enumerates every hybrid split strategy for the query's plan:
+// H0 (Split=-1) through H(nJoins).
+func (s *System) Splits(q *query.Query) ([]coop.Strategy, error) {
+	p, err := s.Optimizer.BuildPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("hybridndp: %s has no joins to split", q.Name)
+	}
+	out := []coop.Strategy{{Kind: coop.Hybrid, Split: -1}}
+	for k := 1; k <= len(p.Steps); k++ {
+		out = append(out, coop.Strategy{Kind: coop.Hybrid, Split: k})
+	}
+	return out, nil
+}

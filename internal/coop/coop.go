@@ -1,0 +1,433 @@
+// Package coop implements hybridNDP's cooperative execution model (paper §4)
+// and the baseline execution stacks. A hybrid run splits the physical plan
+// at Hk, ships the NDP-PQEP to the device simulator, pre-builds the host
+// PQEP's structures while the device performs its initial execution, and then
+// consumes intermediate result sets slot by slot, so both engines overlap and
+// only stall on each other when the shared buffer runs full (device) or
+// empty (host). All interaction is priced on two virtual timelines whose
+// rendezvous points reproduce the phase structure of paper Fig. 17 / Table 4.
+package coop
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridndp/internal/device"
+	"hybridndp/internal/exec"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/kv"
+	"hybridndp/internal/lsm"
+	"hybridndp/internal/table"
+	"hybridndp/internal/vclock"
+)
+
+// Kind selects the execution strategy.
+type Kind int
+
+// Execution strategies. BlockOnly and HostNative run the whole plan on the
+// host over the BLK / native stacks (paper Fig. 10 baselines); NDPOnly
+// offloads the complete plan; Hybrid splits it.
+const (
+	BlockOnly Kind = iota
+	HostNative
+	NDPOnly
+	Hybrid
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BlockOnly:
+		return "block"
+	case HostNative:
+		return "native"
+	case NDPOnly:
+		return "ndp"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Strategy is a fully specified execution choice.
+type Strategy struct {
+	Kind Kind
+	// Split is the number of join steps executed on device for Hybrid:
+	// -1 = H0 (every leaf selection offloaded, all joins on host),
+	// k ≥ 1 = Hk (leaves 0..k and joins 1..k offloaded).
+	Split int
+}
+
+// SplitLabel renders H0..Hn / stack names.
+func (s Strategy) String() string {
+	if s.Kind != Hybrid {
+		return s.Kind.String()
+	}
+	if s.Split < 0 {
+		return "H0"
+	}
+	return fmt.Sprintf("H%d", s.Split)
+}
+
+// BatchEvent records one intermediate result set handoff for timeline plots.
+type BatchEvent struct {
+	Idx         int
+	Rows        int
+	Bytes       int64
+	DeviceReady vclock.Time // device finished producing the slot
+	HostFetched vclock.Time // host completed the transfer
+	HostDone    vclock.Time // host finished processing the batch
+}
+
+// Report is the outcome of one execution.
+type Report struct {
+	Query    string
+	Strategy Strategy
+	Result   *exec.Result
+	// Elapsed is the end-to-end virtual runtime (host completion).
+	Elapsed vclock.Duration
+
+	HostAccount   map[string]vclock.Duration
+	DeviceAccount map[string]vclock.Duration
+
+	Batches          int
+	TransferredBytes int64
+	Timeline         []BatchEvent
+	DeviceMemory     device.MemoryPlan
+}
+
+// WaitInitial reports the host's initial stall waiting for the first device
+// result (Fig. 17 / Table 4 "Wait (initial device exec.)").
+func (r *Report) WaitInitial() vclock.Duration { return r.HostAccount[hw.CatWaitInitial] }
+
+// WaitFetch reports host stalls on later batches.
+func (r *Report) WaitFetch() vclock.Duration { return r.HostAccount[hw.CatWaitFetch] }
+
+// DeviceWaitSlots reports device stalls on exhausted buffer slots.
+func (r *Report) DeviceWaitSlots() vclock.Duration { return r.DeviceAccount[hw.CatWaitSlots] }
+
+// CacheFormat overrides the device's intermediate-result cache format.
+type CacheFormat int
+
+// Cache format overrides (paper §4.2): Auto switches to pointer format above
+// two tables; the forced settings exist for the ablation benchmarks.
+const (
+	CacheAuto CacheFormat = iota
+	CacheRow
+	CachePointer
+)
+
+// Executor runs plans under any strategy.
+type Executor struct {
+	Cat   *table.Catalog
+	DB    *kv.DB
+	Model hw.Model
+	// Chunks overrides the driving-table partition count (0 = auto).
+	Chunks int
+	// CacheFormat overrides the device cache-structure choice.
+	CacheFormat CacheFormat
+}
+
+// applyCacheFormat applies the override to a device engine.
+func (x *Executor) applyCacheFormat(eng *exec.Engine) {
+	switch x.CacheFormat {
+	case CacheRow:
+		eng.PointerCache = false
+	case CachePointer:
+		eng.PointerCache = true
+	}
+}
+
+// NewExecutor builds an executor over the catalog.
+func NewExecutor(cat *table.Catalog, db *kv.DB, m hw.Model) *Executor {
+	return &Executor{Cat: cat, DB: db, Model: m}
+}
+
+// hostCache builds a fresh host block cache sized as the model's fraction of
+// the stored dataset (MyRocks block cache under the paper's memory-pressure
+// ratio). Every run starts cold so strategy comparisons are
+// order-independent.
+func (x *Executor) hostCache() *lsm.BlockCache {
+	bytes := int64(float64(x.DB.Flash().Used()) * x.Model.HostCacheFraction)
+	return lsm.NewBlockCache(bytes)
+}
+
+// Run executes the plan under the given strategy.
+func (x *Executor) Run(p *exec.Plan, s Strategy) (*Report, error) {
+	switch s.Kind {
+	case BlockOnly:
+		return x.runHostOnly(p, s, hw.BlockStackRates(x.Model))
+	case HostNative:
+		return x.runHostOnly(p, s, hw.HostRates(x.Model))
+	case NDPOnly:
+		return x.runNDPOnly(p, s)
+	case Hybrid:
+		return x.runHybrid(p, s)
+	}
+	return nil, fmt.Errorf("coop: unknown strategy %v", s.Kind)
+}
+
+// runHostOnly executes the whole plan on the host stack. All table data
+// crosses the interconnect as part of the host flash path.
+func (x *Executor) runHostOnly(p *exec.Plan, s Strategy, rates hw.Rates) (*Report, error) {
+	tl := vclock.NewTimeline("host")
+	eng := &exec.Engine{Cat: x.Cat, TL: tl, R: rates, Cache: x.hostCache()}
+	res, err := eng.RunPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Query:       p.Query.Name,
+		Strategy:    s,
+		Result:      res,
+		Elapsed:     vclock.Duration(tl.Now()),
+		HostAccount: tl.Account(),
+	}, nil
+}
+
+// snapshotFor captures the shared state for the device-read tables.
+func (x *Executor) snapshotFor(p *exec.Plan, split int) (*kv.Snapshot, error) {
+	var names []string
+	add := func(ref exec.AccessPath) {
+		names = append(names, "tbl."+ref.Ref.Table)
+	}
+	add(p.Driving)
+	limit := len(p.Steps)
+	if split >= 0 {
+		limit = split
+	}
+	for i := 0; i < limit; i++ {
+		add(p.Steps[i].Right)
+	}
+	return x.DB.TakeSnapshot(names)
+}
+
+// chunkCount sizes the driving-table partitioning so a chunk's result set
+// lands near the shared-buffer slot size.
+func (x *Executor) chunkCount(p *exec.Plan) int {
+	if x.Chunks > 0 {
+		return x.Chunks
+	}
+	t, err := x.Cat.Table(p.Driving.Ref.Table)
+	if err != nil {
+		return 8
+	}
+	st := t.CollectStats()
+	bytes := float64(st.TotalBytes())
+	c := int(bytes / float64(4*x.Model.SharedBufferSlot))
+	if c < 4 {
+		c = 4
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
+// runNDPOnly offloads the complete plan including grouping/aggregation; the
+// host only issues the command and fetches the final result.
+func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy) (*Report, error) {
+	snap, err := x.snapshotFor(p, -1) // full plan: all tables device-read
+	if err != nil {
+		return nil, err
+	}
+	dev := device.New(x.Model, x.Cat)
+	cmd := &device.Command{Plan: p, SplitAfter: len(p.Steps), Snapshot: snap, Chunks: 1}
+	if err := dev.Validate(cmd); err != nil {
+		return nil, err
+	}
+	mp := device.PlanMemory(x.Model, p, cmd.SplitAfter)
+	eng := dev.Engine(mp)
+	x.applyCacheFormat(eng)
+	eng.Views = snapshotViews(snap)
+	hostTL := vclock.NewTimeline("host")
+	hostR := hw.HostRates(x.Model)
+
+	// NDP setup: the command (plan, placements, shared state) crosses PCIe.
+	setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
+	hostTL.Charge(hw.CatNDPSetup, setup)
+	dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
+
+	res, err := eng.RunPlan(p)
+	if err != nil {
+		return nil, err
+	}
+	// Host waits for device completion, then transfers the final result.
+	hostTL.WaitUntil(dev.TL.Now(), hw.CatWaitInitial)
+	hostR.Transfer(hostTL, res.Bytes, x.Model.SharedBufferSlot)
+
+	return &Report{
+		Query:            p.Query.Name,
+		Strategy:         s,
+		Result:           res,
+		Elapsed:          vclock.Duration(hostTL.Now()),
+		HostAccount:      hostTL.Account(),
+		DeviceAccount:    dev.TL.Account(),
+		TransferredBytes: res.Bytes,
+		DeviceMemory:     mp,
+	}, nil
+}
+
+// runHybrid is the cooperative execution path.
+func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
+	split := s.Split
+	if split == 0 {
+		split = -1 // H0
+	}
+	if split > len(p.Steps) {
+		return nil, fmt.Errorf("coop: split H%d exceeds the plan's %d joins", split, len(p.Steps))
+	}
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("coop: hybrid execution requires at least 2 tables")
+	}
+	if split < 0 {
+		// H0 joins device-shipped leaf rows on the host: every step becomes
+		// a buffered join over the seeded inner sides; index joins against
+		// the base tables would discard the offloaded selections.
+		p2 := *p
+		p2.Steps = append([]exec.JoinStep(nil), p.Steps...)
+		for i := range p2.Steps {
+			if p2.Steps[i].Type == exec.BNLI {
+				p2.Steps[i].Type = exec.BNL
+			}
+		}
+		p = &p2
+	}
+	snap, err := x.snapshotFor(p, split)
+	if err != nil {
+		return nil, err
+	}
+	dev := device.New(x.Model, x.Cat)
+	cmd := &device.Command{Plan: p, SplitAfter: split, Snapshot: snap, Chunks: x.chunkCount(p)}
+	if err := dev.Validate(cmd); err != nil {
+		return nil, err
+	}
+	mp := device.PlanMemory(x.Model, p, split)
+	devEng := dev.Engine(mp)
+	x.applyCacheFormat(devEng)
+	devEng.Views = snapshotViews(snap)
+
+	hostTL := vclock.NewTimeline("host")
+	hostR := hw.HostRates(x.Model)
+	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()}
+
+	// The two engines share one pipeline: the device owns the inner state of
+	// its join steps, the host owns the rest.
+	pl, err := hostEng.StartPipeline(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// (A) NDP invocation.
+	setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
+	hostTL.Charge(hw.CatNDPSetup, setup)
+	dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
+
+	// Host prep overlaps the device's initial execution: build the hash
+	// tables of the host-side buffered joins now.
+	hostFrom := 0
+	if split > 0 {
+		hostFrom = split
+	}
+	if split > 0 { // Hk: host joins steps[split:]; inners are host-scanned.
+		for si := hostFrom; si < len(p.Steps); si++ {
+			if p.Steps[si].Type != exec.BNLI {
+				if _, err := hostEng.BuildInner(pl, si); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	report := &Report{Query: p.Query.Name, Strategy: s, DeviceMemory: mp}
+	var tuples []exec.Tuple
+	var fetchDone []vclock.Time
+	first := true
+
+	emit := func(b device.Batch) {
+		cat := hw.CatWaitFetch
+		if first {
+			cat = hw.CatWaitInitial
+		}
+		hostTL.WaitUntil(b.Ready, cat)
+		first = false
+		hostR.Transfer(hostTL, maxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
+		fetchDone = append(fetchDone, hostTL.Now())
+		report.TransferredBytes += b.Bytes
+		report.Batches++
+
+		ev := BatchEvent{
+			Idx:         report.Batches - 1,
+			Bytes:       b.Bytes,
+			DeviceReady: b.Ready,
+			HostFetched: hostTL.Now(),
+		}
+
+		if b.LeafAlias != "" {
+			// H0 leaf batch: seed the host join's inner side.
+			for si, st := range p.Steps {
+				if st.Right.Ref.Alias == b.LeafAlias {
+					if seedErr := hostEng.SeedInner(pl, si, b.Rows); seedErr != nil && err == nil {
+						err = seedErr
+					}
+					break
+				}
+			}
+			ev.Rows = len(b.Rows)
+		} else {
+			// Driving-chunk batch: run it through the host PQEP.
+			batch := b.Tuples
+			ev.Rows = len(batch)
+			for si := hostFrom; si < len(p.Steps); si++ {
+				var jerr error
+				batch, jerr = hostEng.JoinStep(pl, si, batch)
+				if jerr != nil && err == nil {
+					err = jerr
+				}
+			}
+			tuples = append(tuples, batch...)
+		}
+		ev.HostDone = hostTL.Now()
+		report.Timeline = append(report.Timeline, ev)
+	}
+	waitSlot := func(j int) (vclock.Time, bool) {
+		if j < len(fetchDone) {
+			return fetchDone[j], true
+		}
+		return 0, false
+	}
+
+	if runErr := dev.Run(cmd, pl, devEng, emit, waitSlot); runErr != nil {
+		return nil, runErr
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := hostEng.Finalize(pl, tuples)
+	if err != nil {
+		return nil, err
+	}
+	report.Result = res
+	report.Elapsed = vclock.Duration(hostTL.Now())
+	report.HostAccount = hostTL.Account()
+	report.DeviceAccount = dev.TL.Account()
+	return report, nil
+}
+
+// snapshotViews extracts the frozen per-table views from the shared-state
+// snapshot (update-aware NDP): the device engine reads through them, so
+// host writes issued after the invocation stay invisible on device.
+func snapshotViews(snap *kv.Snapshot) map[string]*lsm.View {
+	views := make(map[string]*lsm.View, len(snap.CFs))
+	for name, cf := range snap.CFs {
+		views[strings.TrimPrefix(name, "tbl.")] = cf.View
+	}
+	return views
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

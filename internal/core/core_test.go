@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"hybridndp/internal/core"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/job"
+)
+
+var (
+	dsOnce sync.Once
+	ds     *job.Dataset
+	dsErr  error
+)
+
+func controller(t *testing.T) *core.Controller {
+	t.Helper()
+	dsOnce.Do(func() { ds, dsErr = job.Load(0.01, hw.Cosmos()) })
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return core.New(ds.Cat, ds.DB, ds.Model)
+}
+
+func TestRunRecordsOutcome(t *testing.T) {
+	c := controller(t)
+	rep, d, err := c.Run(job.QueryByName("1a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.RowCount != 1 || d.Reason == "" {
+		t.Fatal("run incomplete")
+	}
+	runs := c.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("recorded %d runs", len(runs))
+	}
+	r := runs[0]
+	if r.Query != "1a" || r.Estimated <= 0 || r.Measured <= 0 {
+		t.Fatalf("record incomplete: %+v", r)
+	}
+	if r.Strategy.String() != d.StrategyLabel() && !(d.StrategyLabel() == "host" && r.Strategy.Kind == 1) {
+		// Fallback may downgrade the strategy; reason stays.
+		t.Logf("executed %v for decision %s", r.Strategy, d.StrategyLabel())
+	}
+	if r.Ratio() <= 0 {
+		t.Fatal("ratio must be positive")
+	}
+}
+
+func TestQualityReport(t *testing.T) {
+	c := controller(t)
+	for _, name := range []string{"1a", "2b", "4b", "32b", "17b"} {
+		if _, _, err := c.Run(job.QueryByName(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qr := c.Quality()
+	if qr.Runs != 5 {
+		t.Fatalf("Runs = %d", qr.Runs)
+	}
+	if qr.MedianRatio <= 0 || qr.P90Ratio < qr.MedianRatio {
+		t.Fatalf("degenerate ratios: %+v", qr)
+	}
+	total := 0
+	for _, n := range qr.ByStrategy {
+		total += n
+	}
+	if total != 5 {
+		t.Fatalf("strategy histogram covers %d runs", total)
+	}
+	if qr.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestEmptyQuality(t *testing.T) {
+	c := controller(t)
+	qr := c.Quality()
+	if qr.Runs != 0 || qr.MedianRatio != 0 {
+		t.Fatalf("fresh controller reports %+v", qr)
+	}
+}
+
+func TestFeedbackNudgesUsrRec(t *testing.T) {
+	c := controller(t)
+	c.Feedback = true
+	before := c.Opt.Est.Params.UsrRec
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Run(job.QueryByName("8c")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := c.Opt.Est.Params.UsrRec
+	if after == before {
+		t.Fatal("feedback never adjusted usr_rec")
+	}
+	// The adjustment is bounded: three runs move at most (1.2)^3.
+	if after > before*math.Pow(1+0.2, 3)+1e-9 || after < before*math.Pow(1-0.2, 3)-1e-9 {
+		t.Fatalf("usr_rec moved out of bounds: %.1f → %.1f", before, after)
+	}
+}
+
+func TestFeedbackImprovesEstimateRatio(t *testing.T) {
+	// Running the same query repeatedly with feedback should move the
+	// measured/estimated ratio toward 1 relative to the first run.
+	c := controller(t)
+	c.Feedback = true
+	var first, last float64
+	for i := 0; i < 8; i++ {
+		if _, _, err := c.Run(job.QueryByName("6f")); err != nil {
+			t.Fatal(err)
+		}
+		runs := c.Runs()
+		r := runs[len(runs)-1].Ratio()
+		if i == 0 {
+			first = r
+		}
+		last = r
+	}
+	if math.Abs(last-1) > math.Abs(first-1)+0.05 {
+		t.Fatalf("feedback made estimates worse: first ratio %.2f, last %.2f", first, last)
+	}
+}

@@ -1,0 +1,386 @@
+// Package device simulates the COSMOS+ smart-storage board of the paper: a
+// management core (core 0) that receives NDP commands and relays result
+// buffers, a dedicated execution core (core 1) that runs the offloaded
+// partial plan as a volcano pipeline over bounded caches, a DRAM budget
+// ledger enforcing the paper's memory reservations, and shared buffer slots
+// that create back-pressure between device production and host consumption.
+package device
+
+import (
+	"fmt"
+
+	"hybridndp/internal/exec"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/kv"
+	"hybridndp/internal/lsm"
+	"hybridndp/internal/table"
+	"hybridndp/internal/vclock"
+)
+
+// Command is one NDP invocation: the offloaded partial plan plus everything
+// the device needs to execute it without host interaction (paper Fig. 7 A):
+// the shared-state snapshot, physical placements, index information and the
+// transfer buffer configuration.
+type Command struct {
+	Plan *exec.Plan
+	// SplitAfter is the number of join steps executed on device. -1 selects
+	// leaf-only offloading (H0: every base-table selection runs on device,
+	// all joins remain on the host). len(Plan.Steps) offloads every join.
+	SplitAfter int
+	// Snapshot is the shared state shipped with the invocation.
+	Snapshot *kv.Snapshot
+	// Chunks partitions the driving table; each chunk yields one
+	// intermediate result set placed in a shared buffer slot.
+	Chunks int
+}
+
+// Bytes estimates the serialized command size (plan description, placement
+// map, shared state), charged as PCIe payload during the NDP setup.
+func (c *Command) Bytes() int64 {
+	var n int64 = 256                    // command header, buffer config
+	n += int64(c.Plan.NumTables()) * 128 // per-table descriptor + predicates
+	n += int64(len(c.Plan.Steps)) * 64   // join descriptors
+	if c.Snapshot != nil {
+		n += c.Snapshot.Bytes()
+	}
+	return n
+}
+
+// Batch is one intermediate result set: the tuples of one driving-table
+// chunk after the device-side joins, stamped with the device time at which
+// the shared buffer slot became ready for pickup.
+type Batch struct {
+	Tuples []exec.Tuple
+	Bytes  int64
+	Ready  vclock.Time
+	// LeafAlias is set for H0 leaf batches: which table's selection this is.
+	LeafAlias string
+	Rows      [][]byte // leaf rows for H0 batches
+	Last      bool
+}
+
+// MemoryPlan is the device DRAM ledger for one command (paper §5 memory
+// reservations: 17 MB per selection via an index, 7 MB per join, within the
+// ~400 MB NDP budget).
+type MemoryPlan struct {
+	Selections     int
+	SecondaryIdx   int
+	Joins          int
+	SelBytes       int64
+	JoinBytes      int64
+	TotalBytes     int64
+	BudgetBytes    int64
+	UsesPointerFmt bool
+}
+
+// PlanMemory computes the ledger for offloading the given prefix.
+func PlanMemory(m hw.Model, p *exec.Plan, splitAfter int) MemoryPlan {
+	mp := MemoryPlan{BudgetBytes: m.DeviceNDPBudget}
+	nTables := 1
+	if splitAfter < 0 {
+		nTables = p.NumTables() // H0: all leaves
+	} else {
+		nTables = 1 + splitAfter
+	}
+	mp.Selections = nTables
+	if splitAfter > 0 {
+		mp.Joins = splitAfter
+	}
+	for i := 0; i < splitAfter && i < len(p.Steps); i++ {
+		if p.Steps[i].Type == exec.BNLI && !p.Steps[i].RightIndexIsPK {
+			mp.SecondaryIdx++
+		}
+	}
+	mp.SelBytes = int64(mp.Selections+mp.SecondaryIdx) * m.SelBufBytes
+	mp.JoinBytes = int64(mp.Joins) * m.JoinBufBytes
+	mp.TotalBytes = mp.SelBytes + mp.JoinBytes
+	mp.UsesPointerFmt = nTables > 2 // paper §4.2: pointer cache above 2 tables
+	return mp
+}
+
+// Fits reports whether the ledger stays inside the NDP budget. With the
+// paper's numbers this allows at most 12 tables with secondary indices or 17
+// without in one NDP call.
+func (mp MemoryPlan) Fits() bool { return mp.TotalBytes <= mp.BudgetBytes }
+
+// Device is the simulated smart-storage board.
+type Device struct {
+	Model hw.Model
+	Cat   *table.Catalog
+	// TL is core 1's execution timeline.
+	TL *vclock.Timeline
+}
+
+// New creates a device bound to the catalog (whose flash it reads directly).
+func New(m hw.Model, cat *table.Catalog) *Device {
+	return &Device{Model: m, Cat: cat, TL: vclock.NewTimeline("device")}
+}
+
+// Engine builds the on-device execution engine for one command: device
+// rates, bounded buffers, the row/pointer cache format switch, and a small
+// data-block buffer cache carved out of the temporary-storage reservation.
+func (d *Device) Engine(mp MemoryPlan) *exec.Engine {
+	cacheBytes := int64(float64(d.Cat.DB().Flash().Used()) * d.Model.DeviceCacheFraction)
+	return &exec.Engine{
+		Cat:          d.Cat,
+		TL:           d.TL,
+		R:            hw.DeviceRates(d.Model),
+		Cache:        lsm.NewBlockCache(cacheBytes),
+		JoinBuf:      d.Model.JoinBufBytes,
+		SelBuf:       d.Model.SelBufBytes,
+		PointerCache: mp.UsesPointerFmt,
+	}
+}
+
+// Run executes the command's device part, calling emit for every produced
+// batch. waitSlot is consulted before producing batch j once all shared
+// buffer slots are occupied: it returns the host fetch-completion time of
+// batch j-slots, and the device stalls until then (paper §4.1: "the smart
+// storage stalls and waits for the host-engine"). Both callbacks run
+// synchronously; batches are emitted in production order.
+func (d *Device) Run(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
+	emit func(Batch), waitSlot func(batchIdx int) (vclock.Time, bool)) error {
+
+	slots := d.Model.SharedSlots
+	produced := 0
+	emitBatch := func(b Batch) {
+		if produced >= slots {
+			if t, ok := waitSlot(produced - slots); ok {
+				d.TL.WaitUntil(t, hw.CatWaitSlots)
+			}
+		}
+		b.Ready = d.TL.Now()
+		emit(b)
+		produced++
+	}
+
+	p := cmd.Plan
+	devSteps := cmd.SplitAfter
+	if devSteps < 0 {
+		// H0: run every leaf selection on device. Inner tables ship as one
+		// batch each; the driving table streams in chunks.
+		for _, st := range p.Steps {
+			rows, width, err := eng.ScanAccess(st.Right, nil, nil)
+			if err != nil {
+				return err
+			}
+			emitBatch(Batch{
+				LeafAlias: st.Right.Ref.Alias,
+				Rows:      rows,
+				Bytes:     int64(len(rows)) * width,
+			})
+		}
+		return d.streamDriving(cmd, pl, eng, 0, emitBatch)
+	}
+
+	// Hk: pre-build the inner sides of the device joins (hash tables are
+	// built once and probed by every chunk), then stream driving chunks
+	// through the device join pipeline.
+	return d.streamDriving(cmd, pl, eng, devSteps, emitBatch)
+}
+
+// streamDriving partitions the driving table into chunks by primary-key
+// ranges and pushes each chunk through the first devSteps join steps.
+func (d *Device) streamDriving(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
+	devSteps int, emitBatch func(Batch)) error {
+	return d.streamDrivingRange(cmd, pl, eng, devSteps, nil, nil, emitBatch)
+}
+
+// RunPartition is Run restricted to a driving-table PK partition [lo, hi),
+// used for multi-device cooperative execution: every device runs the same
+// device-side PQEP over its share of the driving table. Shared-slot
+// back-pressure is not applied — the caller merges batches from several
+// producers and the host is the bottleneck. Under H0 only the first
+// partition (lo == nil) carries the inner tables' leaf scans; in a real
+// deployment each device would scan its own partition of every table.
+func (d *Device) RunPartition(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
+	lo, hi *int32, emit func(Batch)) error {
+
+	emitBatch := func(b Batch) {
+		b.Ready = d.TL.Now()
+		emit(b)
+	}
+	devSteps := cmd.SplitAfter
+	if devSteps < 0 {
+		if lo == nil {
+			for _, st := range cmd.Plan.Steps {
+				rows, width, err := eng.ScanAccess(st.Right, nil, nil)
+				if err != nil {
+					return err
+				}
+				emitBatch(Batch{
+					LeafAlias: st.Right.Ref.Alias,
+					Rows:      rows,
+					Bytes:     int64(len(rows)) * width,
+				})
+			}
+		}
+		devSteps = 0
+	}
+	return d.streamDrivingRange(cmd, pl, eng, devSteps, lo, hi, emitBatch)
+}
+
+// streamDrivingRange is streamDriving clipped to [loPart, hiPart).
+func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
+	devSteps int, loPart, hiPart *int32, emitBatch func(Batch)) error {
+
+	p := cmd.Plan
+	bounds, err := d.chunkBounds(p.Driving.Ref.Table, cmd.Chunks)
+	if err != nil {
+		return err
+	}
+	bounds = clipBounds(bounds, loPart, hiPart)
+	width := pl.TupleWidth(devSteps + 1)
+	slot := d.Model.SharedBufferSlot
+	var acc []exec.Tuple
+	var accBytes int64
+	flush := func(last bool) {
+		if len(acc) == 0 && !last {
+			// An empty intermediate result set occupies no buffer slot and
+			// is not transferred.
+			return
+		}
+		emitBatch(Batch{Tuples: acc, Bytes: accBytes, Last: last})
+		acc = nil
+		accBytes = 0
+	}
+	// The chunk's rows stream through the device joins in bounded pieces
+	// (the volcano pipeline over per-operation caches of paper Fig. 8): each
+	// operation hands over once its cache holds a piece, so result sets fill
+	// shared-buffer slots incrementally with honest per-piece timestamps.
+	const pieceRows = 256
+	var runFrom func(si int, tuples []exec.Tuple) error
+	runFrom = func(si int, tuples []exec.Tuple) error {
+		if len(tuples) == 0 {
+			return nil
+		}
+		if si >= devSteps {
+			acc = append(acc, tuples...)
+			accBytes += int64(len(tuples)) * width
+			if accBytes >= slot {
+				flush(false)
+			}
+			return nil
+		}
+		for off := 0; off < len(tuples); off += pieceRows {
+			end := off + pieceRows
+			if end > len(tuples) {
+				end = len(tuples)
+			}
+			out, err := eng.JoinStep(pl, si, tuples[off:end])
+			if err != nil {
+				return err
+			}
+			if err := runFrom(si+1, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for ci := 0; ci+1 < len(bounds); ci++ {
+		lo, hi := bounds[ci], bounds[ci+1]
+		rows, _, err := eng.ScanAccess(p.Driving, lo, hi)
+		if err != nil {
+			return err
+		}
+		group := len(rows)/8 + 1
+		if group > pieceRows {
+			group = pieceRows
+		}
+		for off := 0; off < len(rows); off += group {
+			end := off + group
+			if end > len(rows) {
+				end = len(rows)
+			}
+			tuples := make([]exec.Tuple, end-off)
+			for i, r := range rows[off:end] {
+				tuples[i] = exec.Tuple{r}
+			}
+			if err := runFrom(0, tuples); err != nil {
+				return err
+			}
+		}
+	}
+	flush(true)
+	return nil
+}
+
+// chunkBounds derives n chunk boundaries from the primary-key quantiles of
+// the table's statistics sample. The first and last bounds are open.
+func (d *Device) chunkBounds(tableName string, n int) ([]*int32, error) {
+	if n < 1 {
+		n = 1
+	}
+	t, err := d.Cat.Table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	st := t.CollectStats()
+	bounds := make([]*int32, 0, n+1)
+	bounds = append(bounds, nil)
+	if len(st.Sample) >= 2 && n > 1 {
+		pks := make([]int32, 0, len(st.Sample))
+		for _, r := range st.Sample {
+			pks = append(pks, r.PK())
+		}
+		sortInt32(pks)
+		for i := 1; i < n; i++ {
+			q := pks[i*len(pks)/n]
+			// Boundaries must be strictly increasing.
+			if last := bounds[len(bounds)-1]; last == nil || q > *last {
+				v := q
+				bounds = append(bounds, &v)
+			}
+		}
+	}
+	bounds = append(bounds, nil)
+	return bounds, nil
+}
+
+// clipBounds restricts chunk boundaries to the partition [lo, hi).
+func clipBounds(bounds []*int32, lo, hi *int32) []*int32 {
+	out := []*int32{lo}
+	for _, b := range bounds[1 : len(bounds)-1] {
+		if b == nil {
+			continue
+		}
+		if lo != nil && *b <= *lo {
+			continue
+		}
+		if hi != nil && *b >= *hi {
+			continue
+		}
+		out = append(out, b)
+	}
+	return append(out, hi)
+}
+
+func sortInt32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Validate checks that the command can run on the device at all.
+func (d *Device) Validate(cmd *Command) error {
+	mp := PlanMemory(d.Model, cmd.Plan, cmd.SplitAfter)
+	if !mp.Fits() {
+		return fmt.Errorf("device: NDP memory plan (%d MB for %d selections, %d secondary, %d joins) exceeds budget (%d MB)",
+			mp.TotalBytes>>20, mp.Selections, mp.SecondaryIdx, mp.Joins, mp.BudgetBytes>>20)
+	}
+	if cmd.SplitAfter > len(cmd.Plan.Steps) {
+		return fmt.Errorf("device: split after %d exceeds %d join steps", cmd.SplitAfter, len(cmd.Plan.Steps))
+	}
+	return nil
+}
+
+// ResultWidthCols reports a human label for batches (debugging aid).
+func ResultWidthCols(p *exec.Plan, devSteps int) []string {
+	aliases := p.Aliases()
+	if devSteps < 0 {
+		return aliases[:1]
+	}
+	return aliases[:devSteps+1]
+}

@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"hybridndp/internal/hw"
+	"hybridndp/internal/lsm"
+	"hybridndp/internal/table"
+	"hybridndp/internal/vclock"
+)
+
+// Engine executes physical plans against a catalog, charging all work to its
+// timeline at its rate table. A host engine has effectively unbounded
+// buffers; the device engine (internal/device) wraps an Engine with the
+// paper's memory reservations and the pointer-cache switch.
+type Engine struct {
+	Cat *table.Catalog
+	TL  *vclock.Timeline
+	R   hw.Rates
+
+	// Cache is the engine's block cache (RocksDB block cache on the host,
+	// data-block buffer on the device); nil disables caching.
+	Cache *lsm.BlockCache
+	// Views maps table names to frozen read views (update-aware NDP): the
+	// device engine resolves primary-data reads against the snapshot that
+	// accompanied the invocation, so host-side writes issued after the
+	// invocation stay invisible to it. Nil entries fall back to live reads.
+	Views map[string]*lsm.View
+	// JoinBuf bounds the join buffer (hw_MSJ on device); 0 = unbounded.
+	// A bounded buffer forces extra BNL passes over the inner table.
+	JoinBuf int64
+	// SelBuf bounds the selection result cache (hw_MSS on device).
+	SelBuf int64
+	// PointerCache stores intermediate results as pointers instead of
+	// copied rows (paper §4.2 cache structure optimization).
+	PointerCache bool
+}
+
+// Access returns the engine's LSM access context.
+func (e *Engine) Access() lsm.Access { return lsm.Access{TL: e.TL, R: e.R, Cache: e.Cache} }
+
+// viewOf returns the frozen view for a table, if the engine reads through a
+// snapshot.
+func (e *Engine) viewOf(tableName string) *lsm.View {
+	if e.Views == nil {
+		return nil
+	}
+	return e.Views[tableName]
+}
+
+// Result is the output of a (partial) plan execution.
+type Result struct {
+	Columns  []string
+	Rows     [][]table.Value // retained rows (capped at RetainRows)
+	RowCount int64
+	Bytes    int64 // total output payload bytes
+}
+
+// RetainRows caps the rows materialized into Result.Rows; counts and byte
+// totals always cover the full output.
+const RetainRows = 100
+
+// RunPlan executes the whole plan on this engine (host-only / full-NDP
+// execution paths).
+func (e *Engine) RunPlan(p *Plan) (*Result, error) {
+	pl, err := e.StartPipeline(p)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := e.ScanAccess(p.Driving, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	tuples := make([]Tuple, len(rows))
+	for i, r := range rows {
+		tuples[i] = Tuple{r}
+	}
+	for si := range p.Steps {
+		tuples, err = e.JoinStep(pl, si, tuples)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e.Finalize(pl, tuples)
+}
+
+// Pipeline carries the resolved state of one plan execution: the tuple shape
+// and per-position projected widths, plus cached inner-side state so chunked
+// device execution builds each join's hash table only once.
+type Pipeline struct {
+	Plan   *Plan
+	Shapes []*Shape // Shapes[i] = shape after i join steps
+	Widths []int64  // projected bytes per tuple position
+	inner  []*innerState
+}
+
+// StartPipeline resolves tables and builds shapes for the plan.
+func (e *Engine) StartPipeline(p *Plan) (*Pipeline, error) {
+	t0, err := e.Cat.Table(p.Driving.Ref.Table)
+	if err != nil {
+		return nil, err
+	}
+	sh := NewShape([]string{p.Driving.Ref.Alias}, []*table.Schema{t0.Schema})
+	pl := &Pipeline{
+		Plan:   p,
+		Shapes: []*Shape{sh},
+		Widths: []int64{projWidth(t0.Schema, p.Driving.Proj)},
+		inner:  make([]*innerState, len(p.Steps)),
+	}
+	for _, s := range p.Steps {
+		tr, err := e.Cat.Table(s.Right.Ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		sh = sh.Extend(s.Right.Ref.Alias, tr.Schema)
+		pl.Shapes = append(pl.Shapes, sh)
+		pl.Widths = append(pl.Widths, projWidth(tr.Schema, s.Right.Proj))
+	}
+	return pl, nil
+}
+
+// FinalShape returns the shape after all join steps.
+func (pl *Pipeline) FinalShape() *Shape { return pl.Shapes[len(pl.Shapes)-1] }
+
+// ShapeAt returns the shape after k join steps.
+func (pl *Pipeline) ShapeAt(k int) *Shape { return pl.Shapes[k] }
+
+// TupleWidth reports the projected byte width of a tuple with the first n
+// positions populated.
+func (pl *Pipeline) TupleWidth(n int) int64 {
+	var w int64
+	for i := 0; i < n && i < len(pl.Widths); i++ {
+		w += pl.Widths[i]
+	}
+	return w
+}
+
+// projWidth sums the aligned stored widths of the projected columns (all
+// columns when proj is empty — full projection).
+func projWidth(s *table.Schema, proj []string) int64 {
+	if len(proj) == 0 {
+		return int64(s.RowBytes())
+	}
+	var w int64
+	for _, c := range proj {
+		w += int64(s.ColumnStoredBytes(c))
+	}
+	if w == 0 {
+		w = 4
+	}
+	return w
+}
+
+// Finalize applies grouping/aggregation or projection to the joined tuples.
+func (e *Engine) Finalize(pl *Pipeline, tuples []Tuple) (*Result, error) {
+	p := pl.Plan
+	sh := pl.FinalShape()
+	if len(p.Aggregates) > 0 || len(p.GroupBy) > 0 {
+		return e.groupAggregate(sh, tuples, p.GroupBy, p.Aggregates)
+	}
+	return e.projectTuples(sh, tuples, p.Output)
+}
+
+// accountSnapshot captures the timeline's account for pass-cost deltas.
+func accountSnapshot(e *Engine) map[string]vclock.Duration {
+	if e.TL == nil {
+		return nil
+	}
+	return e.TL.Account()
+}

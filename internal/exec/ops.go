@@ -1,0 +1,640 @@
+package exec
+
+import (
+	"fmt"
+
+	"hybridndp/internal/hw"
+	"hybridndp/internal/query"
+	"hybridndp/internal/table"
+	"hybridndp/internal/vclock"
+)
+
+// ScanAccess reads one base table through its access path: rows surviving
+// the local predicate, restricted to the optional primary-key range
+// [loPK, hiPK) used by the device engine's chunked pipeline. The scan charges
+// flash reads and merge comparisons through the LSM layer, predicate
+// evaluation per scanned record, and a selection-cache copy per match.
+func (e *Engine) ScanAccess(ap AccessPath, loPK, hiPK *int32) ([][]byte, int64, error) {
+	t, err := e.Cat.Table(ap.Ref.Table)
+	if err != nil {
+		return nil, 0, err
+	}
+	ac := e.Access()
+	terms := 0
+	if ap.Filter != nil {
+		terms = ap.Filter.Terms()
+	}
+	width := projWidth(t.Schema, ap.Proj)
+
+	var rows [][]byte
+	scanned := 0
+
+	view := e.viewOf(ap.Ref.Table)
+	if ap.UseFilterIndex {
+		pks, err := t.IndexSeek(ap.FilterIndex, ap.FilterValue, ac)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, pk := range pks {
+			if loPK != nil && pk < *loPK {
+				continue
+			}
+			if hiPK != nil && pk >= *hiPK {
+				continue
+			}
+			rec, ok, err := t.GetByPKView(view, pk, ac)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !ok {
+				continue
+			}
+			scanned++
+			if ap.Filter == nil || ap.Filter.Eval(rec) {
+				rows = append(rows, rec.Data)
+			}
+		}
+	} else {
+		var lo, hi []byte
+		if loPK != nil {
+			lo = table.EncodePK(*loPK)
+		}
+		if hiPK != nil {
+			hi = table.EncodePK(*hiPK)
+		}
+		for it := t.ScanView(view, lo, hi, ac); it.Valid(); it.Next() {
+			scanned++
+			rec := table.Record{Schema: t.Schema, Data: it.Entry().Value}
+			if ap.Filter == nil || ap.Filter.Eval(rec) {
+				rows = append(rows, it.Entry().Value)
+			}
+		}
+	}
+
+	if e.TL != nil {
+		e.R.Eval(e.TL, scanned, terms)
+		copyBytes := int64(len(rows)) * e.cacheWidth(width)
+		e.R.Memcpy(e.TL, copyBytes)
+		e.R.RowOverhead(e.TL, len(rows), hw.CatSelection)
+	}
+	return rows, width, nil
+}
+
+// cacheWidth is the per-record footprint in an intermediate cache: the
+// projected row (row-cache format) or an 8-byte pointer (pointer-cache
+// format, paper §4.2).
+func (e *Engine) cacheWidth(rowWidth int64) int64 {
+	if e.PointerCache {
+		return 8
+	}
+	return rowWidth
+}
+
+// innerState caches the materialized inner side of a BNL/GHJ/NLJ join so
+// chunked executions build it only once (the device builds its hash tables
+// once and streams probes through them). For BNL with a bounded join buffer
+// it also tracks how much outer data has streamed past, charging one extra
+// inner pass every time the cumulative outer volume crosses a buffer-sized
+// block boundary — the block-nested-loop rescan behaviour.
+type innerState struct {
+	rows   [][]byte
+	hash   map[string][]int
+	built  bool
+	seeded bool
+	width  int64
+
+	scanDelta     map[string]vclock.Duration // cost of one inner scan pass
+	cumOuterBytes int64
+	chargedBlocks int64
+}
+
+// joinKeyOfTuple extracts the composite join key from the left tuple; ok is
+// false when any component is NULL (SQL equality never matches NULL).
+func joinKeyOfTuple(sh *Shape, tu Tuple, conds []BoundCond) (string, int64, bool) {
+	var key []byte
+	var bytes int64
+	for _, c := range conds {
+		v := tu.Record(sh, c.LeftPos).GetByName(c.LeftCol)
+		if v.Null {
+			return "", 0, false
+		}
+		key = appendValueKey(key, v)
+	}
+	bytes = int64(len(key))
+	return string(key), bytes, true
+}
+
+// joinKeyOfRow extracts the composite key from a right-side record.
+func joinKeyOfRow(rec table.Record, conds []BoundCond) (string, bool) {
+	var key []byte
+	for _, c := range conds {
+		v := rec.GetByName(c.RightCol)
+		if v.Null {
+			return "", false
+		}
+		key = appendValueKey(key, v)
+	}
+	return string(key), true
+}
+
+func appendValueKey(key []byte, v table.Value) []byte {
+	if v.IsI {
+		return append(key, byte('i'), byte(v.Int>>24), byte(v.Int>>16), byte(v.Int>>8), byte(v.Int), 0)
+	}
+	return append(append(append(key, 's'), v.Str...), 0)
+}
+
+// JoinStep executes join step si of the pipeline over the given left tuples
+// and returns the extended tuples. Inner-side state persists in the pipeline
+// across chunked invocations.
+func (e *Engine) JoinStep(pl *Pipeline, si int, left []Tuple) ([]Tuple, error) {
+	step := pl.Plan.Steps[si]
+	leftShape := pl.ShapeAt(si)
+	switch step.Type {
+	case BNL, NLJ, GHJ:
+		return e.joinBuffered(pl, si, leftShape, left, step)
+	case BNLI:
+		return e.joinIndexed(pl, si, leftShape, left, step)
+	default:
+		return nil, fmt.Errorf("exec: unknown join type %v", step.Type)
+	}
+}
+
+// joinBuffered implements BNL (hash table in the join buffer), NLJ and GHJ.
+// All three compute the same equality-join result; they differ in the work
+// charged: BNL re-reads the inner table once per outer block that exceeds
+// the join buffer, NLJ charges the full cross-comparison, GHJ charges
+// partitioning copies of both sides.
+func (e *Engine) joinBuffered(pl *Pipeline, si int, leftShape *Shape, left []Tuple, step JoinStep) ([]Tuple, error) {
+	inner, err := e.BuildInner(pl, si)
+	if err != nil {
+		return nil, err
+	}
+
+	// BNL rescan accounting: once the cumulative outer volume exceeds the
+	// join buffer, each further buffer-sized outer block re-reads the inner
+	// table (Exp 5: the device BNL bottleneck).
+	if step.Type == BNL && e.JoinBuf > 0 && !inner.seeded {
+		innerBytes := int64(len(inner.rows)) * e.cacheWidth(inner.width)
+		if innerBytes > e.JoinBuf {
+			inner.cumOuterBytes += int64(len(left)) * pl.TupleWidth(si+1)
+			blocks := inner.cumOuterBytes / e.JoinBuf
+			if blocks > inner.chargedBlocks && e.TL != nil {
+				chargeRepeatDelta(e.TL, inner.scanDelta, int(blocks-inner.chargedBlocks))
+				inner.chargedBlocks = blocks
+			}
+		}
+	}
+
+	var out []Tuple
+	var cmpBytes int64
+	cmps := 0
+	for _, tu := range left {
+		k, kb, ok := joinKeyOfTuple(leftShape, tu, step.Conds)
+		if !ok {
+			continue
+		}
+		cands := inner.hash[k]
+		cmps += len(cands)
+		cmpBytes += kb * int64(len(cands))
+		for _, ri := range cands {
+			out = append(out, extendTuple(tu, inner.rows[ri]))
+		}
+	}
+	if e.TL != nil {
+		e.R.HashProbe(e.TL, len(left))
+		e.R.Memcmp(e.TL, cmpBytes, cmps)
+		if step.Type == NLJ {
+			// Naive nested loop compares every pair.
+			pairs := int64(len(left)) * int64(len(inner.rows))
+			e.R.Memcmp(e.TL, pairs*8, clampInt(pairs))
+		}
+		e.R.Memcpy(e.TL, int64(len(out))*e.cacheWidth(pl.Widths[si+1]))
+		e.R.RowOverhead(e.TL, len(out), hw.CatBufferManage)
+		e.chargeDeref(pl, si, len(out))
+	}
+	return out, nil
+}
+
+// chargeDeref books the pointer-cache dereferencing of the produced tuples
+// (paper §4.2) when the engine stores intermediates in pointer format.
+func (e *Engine) chargeDeref(pl *Pipeline, si, out int) {
+	if !e.PointerCache || out == 0 {
+		return
+	}
+	positions := si + 2
+	e.R.Deref(e.TL, out, positions, int64(out)*pl.TupleWidth(positions))
+}
+
+// BuildInner materializes and hashes the inner side of join step si if not
+// yet built. The cooperative executor calls this to pre-build the host-side
+// hash tables while the device runs its initial execution, overlapping the
+// two engines (paper §4.1).
+func (e *Engine) BuildInner(pl *Pipeline, si int) (*innerState, error) {
+	inner := pl.inner[si]
+	if inner == nil {
+		inner = &innerState{}
+		pl.inner[si] = inner
+	}
+	if inner.built {
+		return inner, nil
+	}
+	step := pl.Plan.Steps[si]
+	snapBefore := accountSnapshot(e)
+	rows, width, err := e.ScanAccess(step.Right, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	snapAfter := accountSnapshot(e)
+	inner.scanDelta = accountDelta(snapBefore, snapAfter)
+	e.hashInner(inner, rows, width, step)
+	if e.TL != nil && step.Type == GHJ {
+		// Grace hash join additionally partitions both sides through flash.
+		e.R.Memcpy(e.TL, 2*int64(len(rows))*width)
+	}
+	return inner, nil
+}
+
+// SeedInner installs device-shipped, already-filtered rows as the inner side
+// of join step si, so the host joins NDP outputs instead of rescanning the
+// base table (H0 leaf offloading).
+func (e *Engine) SeedInner(pl *Pipeline, si int, rows [][]byte) error {
+	inner := pl.inner[si]
+	if inner == nil {
+		inner = &innerState{}
+		pl.inner[si] = inner
+	}
+	step := pl.Plan.Steps[si]
+	rt, err := e.Cat.Table(step.Right.Ref.Table)
+	if err != nil {
+		return err
+	}
+	e.hashInner(inner, rows, projWidth(rt.Schema, step.Right.Proj), step)
+	inner.seeded = true
+	return nil
+}
+
+// AppendInner extends a seeded inner side with further device-shipped rows
+// (multi-device execution delivers each inner table's partitions as separate
+// leaf batches). A first call on an unbuilt inner behaves like SeedInner.
+func (e *Engine) AppendInner(pl *Pipeline, si int, rows [][]byte) error {
+	inner := pl.inner[si]
+	if inner == nil || !inner.built {
+		return e.SeedInner(pl, si, rows)
+	}
+	step := pl.Plan.Steps[si]
+	rt, err := e.Cat.Table(step.Right.Ref.Table)
+	if err != nil {
+		return err
+	}
+	base := len(inner.rows)
+	inner.rows = append(inner.rows, rows...)
+	for i, r := range rows {
+		k, ok := joinKeyOfRow(table.Record{Schema: rt.Schema, Data: r}, step.Conds)
+		if !ok {
+			continue
+		}
+		inner.hash[k] = append(inner.hash[k], base+i)
+	}
+	if e.TL != nil {
+		e.R.HashBuild(e.TL, len(rows))
+		e.R.Memcpy(e.TL, int64(len(rows))*e.cacheWidth(inner.width))
+	}
+	return nil
+}
+
+// hashInner builds the in-buffer hash table over the inner rows.
+func (e *Engine) hashInner(inner *innerState, rows [][]byte, width int64, step JoinStep) {
+	rt, _ := e.Cat.Table(step.Right.Ref.Table)
+	inner.rows = rows
+	inner.width = width
+	inner.hash = make(map[string][]int, len(rows))
+	for i, r := range rows {
+		k, ok := joinKeyOfRow(table.Record{Schema: rt.Schema, Data: r}, step.Conds)
+		if !ok {
+			continue
+		}
+		inner.hash[k] = append(inner.hash[k], i)
+	}
+	if e.TL != nil {
+		e.R.HashBuild(e.TL, len(rows))
+		e.R.Memcpy(e.TL, int64(len(rows))*e.cacheWidth(width))
+	}
+	inner.built = true
+}
+
+// accountDelta computes per-category cost differences between snapshots.
+func accountDelta(before, after map[string]vclock.Duration) map[string]vclock.Duration {
+	out := make(map[string]vclock.Duration)
+	for cat, d := range after {
+		if delta := d - before[cat]; delta > 0 {
+			out[cat] = delta
+		}
+	}
+	return out
+}
+
+// chargeRepeatDelta books the delta map times extra times.
+func chargeRepeatDelta(tl *vclock.Timeline, delta map[string]vclock.Duration, times int) {
+	if times <= 0 || delta == nil {
+		return
+	}
+	for cat, d := range delta {
+		tl.Charge(cat, d*vclock.Duration(times))
+	}
+}
+
+func clampInt(v int64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if v > int64(maxInt) {
+		return maxInt
+	}
+	return int(v)
+}
+
+// joinIndexed implements BNLI: for every left tuple the right side is probed
+// through an index — directly through the primary LSM tree when the join
+// column is the PK, or through the secondary index with the two-stage
+// secondary→primary seek of paper Fig. 9.
+func (e *Engine) joinIndexed(pl *Pipeline, si int, leftShape *Shape, left []Tuple, step JoinStep) ([]Tuple, error) {
+	rt, err := e.Cat.Table(step.Right.Ref.Table)
+	if err != nil {
+		return nil, err
+	}
+	if len(step.Conds) == 0 {
+		return nil, fmt.Errorf("exec: BNLI join without conditions")
+	}
+	ac := e.Access()
+	primary := step.Conds[0]
+	residual := step.Conds[1:]
+	terms := 0
+	if step.Right.Filter != nil {
+		terms = step.Right.Filter.Terms()
+	}
+
+	var out []Tuple
+	fetched := 0
+	for _, tu := range left {
+		v := tu.Record(leftShape, primary.LeftPos).GetByName(primary.LeftCol)
+		if v.Null {
+			continue
+		}
+		var rrows []table.Record
+		view := e.viewOf(step.Right.Ref.Table)
+		if step.RightIndexIsPK {
+			if !v.IsI {
+				continue
+			}
+			rec, ok, err := rt.GetByPKView(view, v.Int, ac)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				rrows = append(rrows, rec)
+			}
+		} else {
+			pks, err := rt.IndexSeek(step.RightIndex, v, ac)
+			if err != nil {
+				return nil, err
+			}
+			for _, pk := range pks {
+				rec, ok, err := rt.GetByPKView(view, pk, ac)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					rrows = append(rrows, rec)
+				}
+			}
+		}
+		for _, rec := range rrows {
+			fetched++
+			if step.Right.Filter != nil && !step.Right.Filter.Eval(rec) {
+				continue
+			}
+			match := true
+			for _, c := range residual {
+				lv := tu.Record(leftShape, c.LeftPos).GetByName(c.LeftCol)
+				rv := rec.GetByName(c.RightCol)
+				if lv.Null || rv.Null || lv.IsI != rv.IsI ||
+					(lv.IsI && lv.Int != rv.Int) || (!lv.IsI && lv.Str != rv.Str) {
+					match = false
+					break
+				}
+			}
+			if match {
+				out = append(out, extendTuple(tu, rec.Data))
+			}
+		}
+	}
+	if e.TL != nil {
+		e.R.Eval(e.TL, fetched, terms+len(residual))
+		e.R.Memcpy(e.TL, int64(len(out))*e.cacheWidth(pl.Widths[si+1]))
+		e.R.RowOverhead(e.TL, len(out), hw.CatBufferManage)
+		e.chargeDeref(pl, si, len(out))
+	}
+	return out, nil
+}
+
+func extendTuple(tu Tuple, right []byte) Tuple {
+	nt := make(Tuple, len(tu)+1)
+	copy(nt, tu)
+	nt[len(tu)] = right
+	return nt
+}
+
+// groupAggregate hash-groups tuples and computes the aggregates.
+func (e *Engine) groupAggregate(sh *Shape, tuples []Tuple, groupBy []query.ColRef, aggs []query.Aggregate) (*Result, error) {
+	type aggState struct {
+		key    []table.Value
+		minI   []int32
+		minS   []string
+		sums   []float64
+		counts []int64
+		seen   []bool
+	}
+	groups := map[string]*aggState{}
+	var order []string
+
+	for _, tu := range tuples {
+		var gk []byte
+		var keyVals []table.Value
+		for _, g := range groupBy {
+			v := tu.Col(sh, g.Alias, g.Col)
+			keyVals = append(keyVals, v)
+			gk = appendValueKey(gk, v)
+		}
+		st, ok := groups[string(gk)]
+		if !ok {
+			st = &aggState{
+				key:    keyVals,
+				minI:   make([]int32, len(aggs)),
+				minS:   make([]string, len(aggs)),
+				sums:   make([]float64, len(aggs)),
+				counts: make([]int64, len(aggs)),
+				seen:   make([]bool, len(aggs)),
+			}
+			groups[string(gk)] = st
+			order = append(order, string(gk))
+		}
+		for i, a := range aggs {
+			if a.Star {
+				st.counts[i]++
+				continue
+			}
+			v := tu.Col(sh, a.Arg.Alias, a.Arg.Col)
+			if v.Null {
+				continue
+			}
+			st.counts[i]++
+			switch a.Func {
+			case query.Min:
+				if v.IsI {
+					if !st.seen[i] || v.Int < st.minI[i] {
+						st.minI[i] = v.Int
+					}
+				} else if !st.seen[i] || v.Str < st.minS[i] {
+					st.minS[i] = v.Str
+				}
+			case query.Max:
+				if v.IsI {
+					if !st.seen[i] || v.Int > st.minI[i] {
+						st.minI[i] = v.Int
+					}
+				} else if !st.seen[i] || v.Str > st.minS[i] {
+					st.minS[i] = v.Str
+				}
+			case query.Sum, query.Avg:
+				if v.IsI {
+					st.sums[i] += float64(v.Int)
+				}
+			case query.Count:
+				// count handled above
+			}
+			st.seen[i] = true
+		}
+	}
+
+	if e.TL != nil {
+		e.R.Group(e.TL, len(tuples))
+	}
+
+	res := &Result{}
+	for _, g := range groupBy {
+		res.Columns = append(res.Columns, g.String())
+	}
+	for _, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.String()
+		}
+		res.Columns = append(res.Columns, name)
+	}
+	rowWidth := int64(len(res.Columns) * 8)
+	for _, gk := range order {
+		st := groups[gk]
+		var row []table.Value
+		row = append(row, st.key...)
+		for i, a := range aggs {
+			switch {
+			case a.Func == query.Count:
+				row = append(row, table.IntVal(int32(st.counts[i])))
+			case !st.seen[i]:
+				row = append(row, table.NullVal())
+			case a.Func == query.Sum:
+				row = append(row, table.IntVal(int32(st.sums[i])))
+			case a.Func == query.Avg:
+				row = append(row, table.IntVal(int32(st.sums[i]/float64(maxI64(st.counts[i], 1)))))
+			case a.Func == query.Min || a.Func == query.Max:
+				if st.minS[i] != "" {
+					row = append(row, table.StrVal(st.minS[i]))
+				} else {
+					row = append(row, table.IntVal(st.minI[i]))
+				}
+			}
+		}
+		if len(res.Rows) < RetainRows {
+			res.Rows = append(res.Rows, row)
+		}
+		res.RowCount++
+		res.Bytes += rowWidth
+	}
+	// An aggregate query over zero tuples still returns one all-NULL row
+	// (no GROUP BY case), as SQL does.
+	if len(groupBy) == 0 && res.RowCount == 0 {
+		var row []table.Value
+		for _, a := range aggs {
+			if a.Func == query.Count {
+				row = append(row, table.IntVal(0))
+			} else {
+				row = append(row, table.NullVal())
+			}
+		}
+		res.Rows = append(res.Rows, row)
+		res.RowCount = 1
+		res.Bytes = rowWidth
+	}
+	return res, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// projectTuples renders plain projections.
+func (e *Engine) projectTuples(sh *Shape, tuples []Tuple, out []query.ColRef) (*Result, error) {
+	res := &Result{}
+	if len(out) == 0 {
+		// SELECT *: all columns of all tables.
+		for i, a := range sh.Aliases {
+			for _, c := range sh.Schemas[i].Columns {
+				res.Columns = append(res.Columns, a+"."+c.Name)
+			}
+		}
+	} else {
+		for _, c := range out {
+			res.Columns = append(res.Columns, c.String())
+		}
+	}
+	var rowWidth int64
+	if len(out) == 0 {
+		for _, s := range sh.Schemas {
+			rowWidth += int64(s.RowBytes())
+		}
+	} else {
+		for _, c := range out {
+			i := sh.Pos(c.Alias)
+			if i < 0 {
+				return nil, fmt.Errorf("exec: projection references alias %q outside the plan", c.Alias)
+			}
+			rowWidth += int64(sh.Schemas[i].ColumnStoredBytes(c.Col))
+		}
+	}
+	for _, tu := range tuples {
+		if len(res.Rows) < RetainRows {
+			var row []table.Value
+			if len(out) == 0 {
+				for i := range sh.Aliases {
+					rec := tu.Record(sh, i)
+					for ci := range sh.Schemas[i].Columns {
+						row = append(row, rec.Get(ci))
+					}
+				}
+			} else {
+				for _, c := range out {
+					row = append(row, tu.Col(sh, c.Alias, c.Col))
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+		res.RowCount++
+	}
+	res.Bytes = res.RowCount * rowWidth
+	if e.TL != nil {
+		e.R.Memcpy(e.TL, res.Bytes)
+	}
+	return res, nil
+}

@@ -1,0 +1,330 @@
+// Package ftl simulates the GreedyFTL flash translation layer that the
+// paper's BLK baseline runs on the COSMOS+ board ("GreedyFTL with 1 MB DRAM
+// cache to maintain the block-device compatibility", §5). The simulator
+// implements page-level mapping with a bounded DRAM mapping cache and greedy
+// garbage collection, and is used to *calibrate* the BLK stack's abstraction
+// tax: CalibrateBlockOverhead replays a mixed read workload and reports how
+// much slower the block path is than a direct native read, which is where
+// the hardware model's BlockStackOverheadPct comes from.
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Geometry describes the simulated NAND layout.
+type Geometry struct {
+	PageBytes     int64
+	PagesPerBlock int
+	Blocks        int
+	// OverprovisionPct reserves spare blocks for GC headroom.
+	OverprovisionPct float64
+}
+
+// DefaultGeometry approximates the COSMOS+ module at simulator scale.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		PageBytes:        16 << 10,
+		PagesPerBlock:    256,
+		Blocks:           8192, // 32 GiB span: mapping table 8× the 1 MB cache
+		OverprovisionPct: 7,
+	}
+}
+
+// Stats counts FTL activity.
+type Stats struct {
+	HostWrites  int64 // logical page writes requested
+	FlashWrites int64 // physical page programs (incl. GC relocation)
+	HostReads   int64
+	MapHits     int64
+	MapMisses   int64 // mapping-page fetches from flash
+	GCRuns      int64
+	Relocations int64
+	Erases      int64
+}
+
+// WriteAmplification is physical writes per host write.
+func (s Stats) WriteAmplification() float64 {
+	if s.HostWrites == 0 {
+		return 1
+	}
+	return float64(s.FlashWrites) / float64(s.HostWrites)
+}
+
+// MapMissRate is the fraction of host reads that required a mapping fetch.
+func (s Stats) MapMissRate() float64 {
+	total := s.MapHits + s.MapMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MapMisses) / float64(total)
+}
+
+const invalid = -1
+
+// FTL is a page-mapped flash translation layer with greedy GC.
+type FTL struct {
+	geo Geometry
+
+	l2p []int32 // logical page → physical page (or -1)
+	p2l []int32 // physical page → logical page (or -1 when free/invalid)
+
+	blockValid []int // valid pages per block
+	blockUsed  []int // programmed pages per block (sequential program constraint)
+	freeBlocks []int
+	openBlock  int
+	openOff    int
+
+	// Mapping cache: the paper's 1 MB DRAM cache holds a subset of the
+	// mapping table. One cached "map page" covers entriesPerMapPage
+	// consecutive logical pages; lookups outside the cached set fetch the
+	// map page from flash first.
+	mapCacheCap int // map pages that fit in the DRAM budget
+	mapCache    map[int32]struct{}
+	mapLRU      []int32
+
+	stats Stats
+}
+
+// entriesPerMapPage: 4-byte entries in one flash page.
+func (f *FTL) entriesPerMapPage() int32 { return int32(f.geo.PageBytes / 4) }
+
+// New creates an FTL with the given geometry and mapping-cache budget in
+// bytes (the paper's BLK setup uses 1 MB).
+func New(geo Geometry, mapCacheBytes int64) (*FTL, error) {
+	if geo.PageBytes <= 0 || geo.PagesPerBlock <= 0 || geo.Blocks <= 2 {
+		return nil, fmt.Errorf("ftl: degenerate geometry %+v", geo)
+	}
+	total := geo.Blocks * geo.PagesPerBlock
+	f := &FTL{
+		geo:        geo,
+		l2p:        make([]int32, total),
+		p2l:        make([]int32, total),
+		blockValid: make([]int, geo.Blocks),
+		blockUsed:  make([]int, geo.Blocks),
+		mapCache:   make(map[int32]struct{}),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = invalid
+		f.p2l[i] = invalid
+	}
+	for b := geo.Blocks - 1; b >= 0; b-- {
+		f.freeBlocks = append(f.freeBlocks, b)
+	}
+	f.openBlock = f.popFree()
+	mapPageBytes := f.geo.PageBytes
+	f.mapCacheCap = int(mapCacheBytes / mapPageBytes)
+	if f.mapCacheCap < 1 {
+		f.mapCacheCap = 1
+	}
+	return f, nil
+}
+
+// LogicalPages reports the usable logical page count (capacity minus
+// over-provisioning).
+func (f *FTL) LogicalPages() int {
+	total := f.geo.Blocks * f.geo.PagesPerBlock
+	return total - int(float64(total)*f.geo.OverprovisionPct/100) - f.geo.PagesPerBlock
+}
+
+// Stats returns a snapshot of the counters.
+func (f *FTL) Stats() Stats { return f.stats }
+
+func (f *FTL) popFree() int {
+	if len(f.freeBlocks) == 0 {
+		return -1
+	}
+	b := f.freeBlocks[len(f.freeBlocks)-1]
+	f.freeBlocks = f.freeBlocks[:len(f.freeBlocks)-1]
+	return b
+}
+
+// touchMap simulates the mapping-cache lookup for a logical page; a miss
+// costs one extra flash read (counted, and reported to the caller).
+func (f *FTL) touchMap(lpn int32) bool {
+	mp := lpn / f.entriesPerMapPage()
+	if _, ok := f.mapCache[mp]; ok {
+		f.stats.MapHits++
+		return true
+	}
+	f.stats.MapMisses++
+	// Insert with FIFO-ish eviction (GreedyFTL keeps it simple).
+	if len(f.mapCache) >= f.mapCacheCap {
+		old := f.mapLRU[0]
+		f.mapLRU = f.mapLRU[1:]
+		delete(f.mapCache, old)
+	}
+	f.mapCache[mp] = struct{}{}
+	f.mapLRU = append(f.mapLRU, mp)
+	return false
+}
+
+// Read resolves a logical page. It reports whether the mapping was cached
+// (miss ⇒ one extra physical read) and whether the page was ever written.
+func (f *FTL) Read(lpn int32) (mapped bool, cached bool, err error) {
+	if int(lpn) < 0 || int(lpn) >= len(f.l2p) {
+		return false, false, fmt.Errorf("ftl: logical page %d out of range", lpn)
+	}
+	f.stats.HostReads++
+	cached = f.touchMap(lpn)
+	return f.l2p[lpn] != invalid, cached, nil
+}
+
+// Write programs a logical page (out-of-place), running greedy GC when the
+// free-block pool drains.
+func (f *FTL) Write(lpn int32) error {
+	if int(lpn) < 0 || int(lpn) >= len(f.l2p) {
+		return fmt.Errorf("ftl: logical page %d out of range", lpn)
+	}
+	f.stats.HostWrites++
+	f.touchMap(lpn)
+	return f.program(lpn)
+}
+
+// programAt writes lpn to the given block/offset, maintaining both mapping
+// directions and the validity counters.
+func (f *FTL) programAt(lpn int32, block, off int) {
+	if old := f.l2p[lpn]; old != invalid {
+		f.p2l[old] = invalid
+		f.blockValid[old/int32(f.geo.PagesPerBlock)]--
+	}
+	ppn := int32(block*f.geo.PagesPerBlock + off)
+	f.blockUsed[block]++
+	f.blockValid[block]++
+	f.l2p[lpn] = ppn
+	f.p2l[ppn] = lpn
+	f.stats.FlashWrites++
+}
+
+func (f *FTL) program(lpn int32) error {
+	if f.openOff >= f.geo.PagesPerBlock {
+		if len(f.freeBlocks) == 0 {
+			// gc installs a fresh open block with the survivors in front.
+			if err := f.gc(); err != nil {
+				return err
+			}
+		} else {
+			f.openBlock = f.popFree()
+			f.openOff = 0
+		}
+		if f.openOff >= f.geo.PagesPerBlock {
+			return fmt.Errorf("ftl: out of space (all blocks valid)")
+		}
+	}
+	f.programAt(lpn, f.openBlock, f.openOff)
+	f.openOff++
+	return nil
+}
+
+// gc runs one round of greedy garbage collection: pick the fully-programmed
+// block with the fewest valid pages, relocate its survivors into a fresh
+// destination block (which becomes the open block), and erase the victim.
+// This never recurses into program — the destination is reserved up front,
+// which is what over-provisioning exists for.
+func (f *FTL) gc() error {
+	f.stats.GCRuns++
+	victim := -1
+	best := 1 << 30
+	for b := 0; b < f.geo.Blocks; b++ {
+		if b == f.openBlock || f.blockUsed[b] < f.geo.PagesPerBlock {
+			continue
+		}
+		if f.blockValid[b] < best {
+			best = f.blockValid[b]
+			victim = b
+		}
+	}
+	if victim < 0 {
+		return fmt.Errorf("ftl: no GC victim available")
+	}
+	// Erase first: the victim itself becomes the relocation destination
+	// when no other free block exists (its survivors are held via p2l).
+	start := int32(victim * f.geo.PagesPerBlock)
+	var survivors []int32
+	for off := int32(0); off < int32(f.geo.PagesPerBlock); off++ {
+		if lpn := f.p2l[start+off]; lpn != invalid {
+			survivors = append(survivors, lpn)
+			f.p2l[start+off] = invalid
+			f.l2p[lpn] = invalid // re-programmed below
+		}
+	}
+	f.blockUsed[victim] = 0
+	f.blockValid[victim] = 0
+	f.stats.Erases++
+
+	f.openBlock = victim
+	f.openOff = 0
+	for _, lpn := range survivors {
+		f.stats.Relocations++
+		f.programAt(lpn, f.openBlock, f.openOff)
+		f.openOff++
+	}
+	if f.openOff >= f.geo.PagesPerBlock {
+		// Fully-valid victim: nothing was reclaimed.
+		return fmt.Errorf("ftl: out of space (GC victim fully valid)")
+	}
+	return nil
+}
+
+// CalibrationResult is the outcome of replaying the calibration workload.
+type CalibrationResult struct {
+	Stats Stats
+	// OverheadPct is the extra per-read cost of the block path relative to
+	// a direct native read: map-cache misses add one physical read each.
+	OverheadPct float64
+}
+
+// CalibrateBlockOverhead fills the device to the given utilization with an
+// update-heavy pass (forcing steady-state GC), then replays a mixed
+// random/sequential read workload through the mapping cache. The returned
+// overhead percentage is the source of the hardware model's
+// BlockStackOverheadPct: every mapping miss costs one extra flash read on
+// the block path.
+func CalibrateBlockOverhead(geo Geometry, mapCacheBytes int64, seed int64) (CalibrationResult, error) {
+	f, err := New(geo, mapCacheBytes)
+	if err != nil {
+		return CalibrationResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	logical := f.LogicalPages()
+
+	// Fill to ~85% then update 30% of pages at random (steady-state GC).
+	fill := int(float64(logical) * 0.85)
+	for i := 0; i < fill; i++ {
+		if err := f.Write(int32(i)); err != nil {
+			return CalibrationResult{}, err
+		}
+	}
+	for i := 0; i < fill*3/10; i++ {
+		if err := f.Write(int32(rng.Intn(fill))); err != nil {
+			return CalibrationResult{}, err
+		}
+	}
+
+	// Read workload: 70% sequential ranges, 30% random points — roughly the
+	// paper's table-scan-plus-lookup mix.
+	before := f.Stats()
+	reads := fill
+	i := 0
+	for i < reads {
+		if rng.Intn(10) < 7 {
+			start := rng.Intn(fill)
+			for j := 0; j < 64 && i < reads; j++ {
+				f.Read(int32((start + j) % fill))
+				i++
+			}
+		} else {
+			f.Read(int32(rng.Intn(fill)))
+			i++
+		}
+	}
+	after := f.Stats()
+	misses := after.MapMisses - before.MapMisses
+	hostReads := after.HostReads - before.HostReads
+	res := CalibrationResult{Stats: after}
+	if hostReads > 0 {
+		res.OverheadPct = 100 * float64(misses) / float64(hostReads)
+	}
+	return res, nil
+}

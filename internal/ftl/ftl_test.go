@@ -1,0 +1,201 @@
+package ftl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallGeo() Geometry {
+	return Geometry{PageBytes: 4 << 10, PagesPerBlock: 32, Blocks: 64, OverprovisionPct: 10}
+}
+
+func TestNewValidatesGeometry(t *testing.T) {
+	if _, err := New(Geometry{}, 1<<20); err == nil {
+		t.Fatal("degenerate geometry accepted")
+	}
+	if _, err := New(Geometry{PageBytes: 4096, PagesPerBlock: 8, Blocks: 2}, 1<<20); err == nil {
+		t.Fatal("2 blocks is not enough for GC")
+	}
+}
+
+func TestWriteReadMapping(t *testing.T) {
+	f, err := New(smallGeo(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapped, _, err := f.Read(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped {
+		t.Fatal("unwritten page reported as mapped")
+	}
+	if err := f.Write(5); err != nil {
+		t.Fatal(err)
+	}
+	mapped, _, err = f.Read(5)
+	if err != nil || !mapped {
+		t.Fatalf("written page not mapped: %v %v", mapped, err)
+	}
+	if _, _, err := f.Read(1 << 30); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := f.Write(1 << 30); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestOverwritesTriggerGC(t *testing.T) {
+	f, err := New(smallGeo(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logical := f.LogicalPages()
+	// Fill sequentially, then update random pages: blocks end up with mixed
+	// validity, so GC must relocate survivors (write amplification > 1).
+	for i := 0; i < logical; i++ {
+		if err := f.Write(int32(i)); err != nil {
+			t.Fatalf("fill page %d: %v", i, err)
+		}
+	}
+	r := int64(1)
+	for i := 0; i < 2*logical; i++ {
+		r = r*6364136223846793005 + 1442695040888963407
+		if err := f.Write(int32((uint64(r) >> 33) % uint64(logical))); err != nil {
+			t.Fatalf("update %d: %v", i, err)
+		}
+	}
+	st := f.Stats()
+	if st.GCRuns == 0 || st.Erases == 0 {
+		t.Fatalf("no GC despite 3× write volume: %+v", st)
+	}
+	if st.Relocations == 0 {
+		t.Fatal("random updates must force survivor relocation")
+	}
+	if wa := st.WriteAmplification(); wa <= 1.0 {
+		t.Fatalf("write amplification %.3f must exceed 1 under GC", wa)
+	}
+	// All pages still mapped after GC.
+	for i := 0; i < logical; i += 97 {
+		mapped, _, _ := f.Read(int32(i))
+		if !mapped {
+			t.Fatalf("page %d lost its mapping during GC", i)
+		}
+	}
+}
+
+func TestGreedyPicksEmptiestVictim(t *testing.T) {
+	geo := smallGeo()
+	f, err := New(geo, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential fill, then invalidate all pages of the second block by
+	// rewriting exactly those logical pages; greedy GC should reclaim a
+	// fully-invalid block without relocations.
+	logical := f.LogicalPages()
+	for i := 0; i < logical; i++ {
+		f.Write(int32(i))
+	}
+	for i := geo.PagesPerBlock; i < 2*geo.PagesPerBlock; i++ {
+		f.Write(int32(i))
+	}
+	// Keep writing until GC fires.
+	before := f.Stats()
+	i := 0
+	for f.Stats().GCRuns == before.GCRuns {
+		f.Write(int32(i % logical))
+		i++
+		if i > logical*4 {
+			t.Fatal("GC never fired")
+		}
+	}
+	st := f.Stats()
+	perGC := float64(st.Relocations) / float64(st.GCRuns)
+	if perGC > float64(geo.PagesPerBlock)/2 {
+		t.Fatalf("greedy GC relocated %.1f pages per run — not picking empty victims", perGC)
+	}
+}
+
+func TestMappingCacheMissesBounded(t *testing.T) {
+	// A cache covering the whole mapping table never misses after warm-up.
+	geo := smallGeo()
+	f, _ := New(geo, 1<<30)
+	logical := f.LogicalPages()
+	for i := 0; i < logical; i++ {
+		f.Write(int32(i))
+	}
+	warm := f.Stats().MapMisses
+	for i := 0; i < logical; i++ {
+		f.Read(int32(i))
+	}
+	if f.Stats().MapMisses != warm {
+		t.Fatal("full cache still missed")
+	}
+	// A one-page cache thrashes on random access.
+	tiny, _ := New(geo, 1)
+	for i := 0; i < logical; i++ {
+		tiny.Write(int32(i))
+	}
+	m0 := tiny.Stats().MapMisses
+	stride := int(tiny.entriesPerMapPage())
+	for i := 0; i < 10; i++ {
+		tiny.Read(int32((i * stride) % logical))
+	}
+	if tiny.Stats().MapMisses-m0 < 5 {
+		t.Fatal("tiny cache should thrash on strided access")
+	}
+}
+
+func TestCalibrateBlockOverhead(t *testing.T) {
+	res, err := CalibrateBlockOverhead(DefaultGeometry(), 1<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OverheadPct <= 0 || res.OverheadPct >= 100 {
+		t.Fatalf("overhead %.1f%% out of band", res.OverheadPct)
+	}
+	if res.Stats.GCRuns == 0 {
+		t.Fatal("calibration never reached steady-state GC")
+	}
+	// The hardware model's 25% BLK tax must sit inside the simulated band
+	// across cache sizes (1 MB is the paper's setup).
+	big, err := CalibrateBlockOverhead(DefaultGeometry(), 8<<20, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.OverheadPct >= res.OverheadPct {
+		t.Fatalf("8 MB cache (%.1f%%) must beat 1 MB (%.1f%%)", big.OverheadPct, res.OverheadPct)
+	}
+}
+
+func TestWriteAmpProperty(t *testing.T) {
+	// Any update pattern keeps write amplification ≥ 1 and mappings intact.
+	f := func(seed int64) bool {
+		ftl, err := New(smallGeo(), 1<<20)
+		if err != nil {
+			return false
+		}
+		logical := ftl.LogicalPages()
+		r := seed
+		written := map[int32]bool{}
+		for i := 0; i < 3000; i++ {
+			r = r*6364136223846793005 + 1442695040888963407
+			lpn := int32((uint64(r) >> 33) % uint64(logical))
+			if err := ftl.Write(lpn); err != nil {
+				return false
+			}
+			written[lpn] = true
+		}
+		for lpn := range written {
+			mapped, _, _ := ftl.Read(lpn)
+			if !mapped {
+				return false
+			}
+		}
+		return ftl.Stats().WriteAmplification() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package hw
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ProfileResult is the output of the hardware profiling benchmark (paper
+// §3.1): the measured characteristics that are translated into the Table 2
+// parameter values and placed in the DBMS parameter file before startup.
+type ProfileResult struct {
+	MemcpyGBps     map[int]float64 // buffer size → sustained GB/s
+	FloatOpsPerSec float64
+	FlashReadGBps  float64
+	FlashWriteGBps float64
+	HandshakeUS    map[int]float64 // transfer size → round-trip µs
+	Model          Model           // the derived parameter set
+}
+
+// Profiler runs the on-device micro-benchmark suite. In the paper this runs
+// on the smart-storage board before DBMS startup; here the host-side numbers
+// are really measured and the device-side numbers are derived from the
+// published COSMOS+ ratios of the base model.
+type Profiler struct {
+	// Base supplies the device-side ratios (CoreMark scores, bandwidth
+	// ratios) that a real profiler would measure on the board.
+	Base Model
+	// Quick reduces iteration counts for use in tests.
+	Quick bool
+}
+
+// Run executes the benchmark suite and derives the model parameters.
+func (p *Profiler) Run() ProfileResult {
+	res := ProfileResult{
+		MemcpyGBps:  make(map[int]float64),
+		HandshakeUS: make(map[int]float64),
+	}
+	iters := 50
+	if p.Quick {
+		iters = 3
+	}
+
+	// CPU/memory characteristics: memcpy across various buffer sizes.
+	for _, size := range []int{4 << 10, 64 << 10, 1 << 20, 8 << 20} {
+		src := make([]byte, size)
+		dst := make([]byte, size)
+		for i := range src {
+			src[i] = byte(i)
+		}
+		start := time.Now()
+		n := iters
+		if size >= 1<<20 {
+			n = iters / 2
+		}
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			copy(dst, src)
+		}
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			el = 1e-9
+		}
+		res.MemcpyGBps[size] = float64(size) * float64(n) / el / 1e9
+	}
+
+	// Floating-point throughput.
+	{
+		n := 2_000_000
+		if p.Quick {
+			n = 100_000
+		}
+		x := 1.000001
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			x = x*1.0000001 + 0.0000001
+		}
+		el := time.Since(start).Seconds()
+		if el <= 0 {
+			el = 1e-9
+		}
+		res.FloatOpsPerSec = float64(n) * 2 / el
+		_ = x
+	}
+
+	// Flash performance: mix of random reads and writes against the
+	// simulated device characteristics (a real board measures its NAND).
+	res.FlashReadGBps = p.Base.DeviceFlashGBps
+	res.FlashWriteGBps = p.Base.DeviceFlashGBps * 0.4
+
+	// Interconnect: handshake-like transfers of different sizes.
+	pc := CFPCIe(p.Base.PCIeVersion, p.Base.PCIeLanes)
+	for _, size := range []int{512, 4 << 10, 64 << 10, 1 << 20} {
+		d := pc.Transfer(int64(size), int64(size))
+		res.HandshakeUS[size] = float64(d) / 1e3
+	}
+
+	m := p.Base
+	// Host memcpy bandwidth from the largest measured buffer (steady state).
+	if gbps, ok := res.MemcpyGBps[8<<20]; ok && gbps > 0 {
+		m.HostMemcpyGBps = gbps
+		m.DeviceMemcpyGBps = gbps / p.Base.MemRatio()
+	}
+	res.Model = m
+	return res
+}
+
+// WriteParameterFile renders the derived model in the DBMS parameter-file
+// format the paper describes (static values placed before startup).
+func (r ProfileResult) WriteParameterFile(w io.Writer) error {
+	m := r.Model
+	lines := []string{
+		fmt.Sprintf("ndp_hw_fcf = %.0f", m.DeviceFlashClockMHz),
+		fmt.Sprintf("host_hw_fcf = %.0f", m.HostFlashClockMHz),
+		fmt.Sprintf("hw_fsw = %.2f", m.FlashWeight),
+		fmt.Sprintf("hw_cme_host_gbps = %.2f", m.HostMemcpyGBps),
+		fmt.Sprintf("hw_cme_device_gbps = %.2f", m.DeviceMemcpyGBps),
+		fmt.Sprintf("hw_ccf_host_mhz = %.0f", m.HostCPUClockMHz),
+		fmt.Sprintf("hw_ccf_device_mhz = %.0f", m.DeviceCPUClockMHz),
+		fmt.Sprintf("hw_ccn_host = %d", m.HostCores),
+		fmt.Sprintf("hw_ccn_device = %d", m.DeviceCores),
+		fmt.Sprintf("hw_msh = %d", m.HostMemBytes),
+		fmt.Sprintf("hw_mss = %d", m.SelBufBytes),
+		fmt.Sprintf("hw_msj = %d", m.JoinBufBytes),
+		fmt.Sprintf("ndp_hw_msw = %.2f", m.DeviceMemWeight),
+		fmt.Sprintf("hw_ipl = %d", m.PCIeLanes),
+		fmt.Sprintf("hw_ipv = %d", m.PCIeVersion),
+	}
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report renders the raw measurements.
+func (r ProfileResult) Report(w io.Writer) error {
+	sizes := make([]int, 0, len(r.MemcpyGBps))
+	for s := range r.MemcpyGBps {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		if _, err := fmt.Fprintf(w, "memcpy %8d B: %6.2f GB/s\n", s, r.MemcpyGBps[s]); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "float ops: %.0f op/s\n", r.FloatOpsPerSec)
+	fmt.Fprintf(w, "flash read: %.2f GB/s, write: %.2f GB/s\n", r.FlashReadGBps, r.FlashWriteGBps)
+	hs := make([]int, 0, len(r.HandshakeUS))
+	for s := range r.HandshakeUS {
+		hs = append(hs, s)
+	}
+	sort.Ints(hs)
+	for _, s := range hs {
+		fmt.Fprintf(w, "handshake %8d B: %8.2f µs\n", s, r.HandshakeUS[s])
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package job
+
+import (
+	"fmt"
+	"strings"
+
+	"hybridndp/internal/expr"
+	"hybridndp/internal/query"
+	"hybridndp/internal/table"
+)
+
+// Predicate construction helpers for the query definitions.
+
+func eqs(col, v string) expr.Pred { return expr.Cmp{Col: col, Op: expr.Eq, Val: table.StrVal(v)} }
+func eqi(col string, v int32) expr.Pred {
+	return expr.Cmp{Col: col, Op: expr.Eq, Val: table.IntVal(v)}
+}
+func gts(col, v string) expr.Pred { return expr.Cmp{Col: col, Op: expr.Gt, Val: table.StrVal(v)} }
+func lts(col, v string) expr.Pred { return expr.Cmp{Col: col, Op: expr.Lt, Val: table.StrVal(v)} }
+func gti(col string, v int32) expr.Pred {
+	return expr.Cmp{Col: col, Op: expr.Gt, Val: table.IntVal(v)}
+}
+func gei(col string, v int32) expr.Pred {
+	return expr.Cmp{Col: col, Op: expr.Ge, Val: table.IntVal(v)}
+}
+func lei(col string, v int32) expr.Pred {
+	return expr.Cmp{Col: col, Op: expr.Le, Val: table.IntVal(v)}
+}
+func lti(col string, v int32) expr.Pred {
+	return expr.Cmp{Col: col, Op: expr.Lt, Val: table.IntVal(v)}
+}
+func between(col string, lo, hi int32) expr.Pred { return expr.Between{Col: col, Lo: lo, Hi: hi} }
+func like(col, pat string) expr.Pred             { return expr.Like{Col: col, Pattern: pat} }
+func notlike(col, pat string) expr.Pred          { return expr.Like{Col: col, Pattern: pat, Not: true} }
+func isnull(col string) expr.Pred                { return expr.IsNull{Col: col} }
+func notnull(col string) expr.Pred               { return expr.IsNull{Col: col, Not: true} }
+func and(ps ...expr.Pred) expr.Pred              { return expr.And{Preds: ps} }
+func or(ps ...expr.Pred) expr.Pred               { return expr.Or{Preds: ps} }
+func ins(col string, vs ...string) expr.Pred {
+	vals := make([]table.Value, len(vs))
+	for i, v := range vs {
+		vals[i] = table.StrVal(v)
+	}
+	return expr.In{Col: col, Vals: vals}
+}
+
+// qb is a tiny builder for query definitions.
+type qb struct {
+	q *query.Query
+}
+
+func nq(name string) *qb {
+	return &qb{q: &query.Query{Name: name, Filters: map[string]expr.Pred{}}}
+}
+
+// t adds tables from "alias:table" specs.
+func (b *qb) t(specs ...string) *qb {
+	for _, s := range specs {
+		parts := strings.SplitN(s, ":", 2)
+		if len(parts) != 2 {
+			panic(fmt.Sprintf("job: bad table spec %q", s))
+		}
+		b.q.Tables = append(b.q.Tables, query.TableRef{Alias: parts[0], Table: parts[1]})
+	}
+	return b
+}
+
+// j adds equality join conditions from "a.col=b.col" specs.
+func (b *qb) j(conds ...string) *qb {
+	for _, s := range conds {
+		sides := strings.SplitN(s, "=", 2)
+		if len(sides) != 2 {
+			panic(fmt.Sprintf("job: bad join spec %q", s))
+		}
+		l := strings.SplitN(strings.TrimSpace(sides[0]), ".", 2)
+		r := strings.SplitN(strings.TrimSpace(sides[1]), ".", 2)
+		if len(l) != 2 || len(r) != 2 {
+			panic(fmt.Sprintf("job: bad join spec %q", s))
+		}
+		b.q.Joins = append(b.q.Joins, query.JoinCond{
+			LeftAlias: l[0], LeftCol: l[1], RightAlias: r[0], RightCol: r[1],
+		})
+	}
+	return b
+}
+
+// f sets the local predicate for alias (merging with AND if already set).
+func (b *qb) f(alias string, p expr.Pred) *qb {
+	if old, ok := b.q.Filters[alias]; ok {
+		p = and(old, p)
+	}
+	b.q.Filters[alias] = p
+	return b
+}
+
+func colref(s string) query.ColRef {
+	parts := strings.SplitN(s, ".", 2)
+	if len(parts) != 2 {
+		panic(fmt.Sprintf("job: bad column ref %q", s))
+	}
+	return query.ColRef{Alias: parts[0], Col: parts[1]}
+}
+
+// minOf adds MIN aggregates over "alias.col" refs (the standard JOB shape).
+func (b *qb) minOf(cols ...string) *qb {
+	for _, c := range cols {
+		b.q.Aggregates = append(b.q.Aggregates, query.Aggregate{
+			Func: query.Min, Arg: colref(c), As: "min_" + strings.ReplaceAll(c, ".", "_"),
+		})
+	}
+	return b
+}
+
+// count adds COUNT(*).
+func (b *qb) count() *qb {
+	b.q.Aggregates = append(b.q.Aggregates, query.Aggregate{Func: query.Count, Star: true, As: "cnt"})
+	return b
+}
+
+// out adds plain projection columns ("alias.col").
+func (b *qb) out(cols ...string) *qb {
+	for _, c := range cols {
+		b.q.Output = append(b.q.Output, colref(c))
+	}
+	return b
+}
+
+// groupBy adds grouping columns.
+func (b *qb) groupBy(cols ...string) *qb {
+	for _, c := range cols {
+		b.q.GroupBy = append(b.q.GroupBy, colref(c))
+	}
+	return b
+}
+
+func (b *qb) build() *query.Query { return b.q }

@@ -1,0 +1,197 @@
+// Package job ports the Join-Order Benchmark (Leis et al., VLDB 2015) to the
+// hybridNDP reproduction: the 21-table IMDB schema with the paper's
+// fixed-width record adaptation (4-byte integers, padded/trimmed CHAR
+// fields), a deterministic synthetic data generator preserving the relative
+// table sizes and foreign-key skew of the original dataset, and all 113
+// benchmark queries (33 groups with their a..f variants).
+package job
+
+import "hybridndp/internal/table"
+
+func col(name string, t table.ColType, size int, nullable bool) table.Column {
+	return table.Column{Name: name, Type: t, Size: size, Nullable: nullable}
+}
+
+func ic(name string) table.Column         { return col(name, table.Int32, 4, false) }
+func icn(name string) table.Column        { return col(name, table.Int32, 4, true) }
+func cc(name string, n int) table.Column  { return col(name, table.Char, n, false) }
+func ccn(name string, n int) table.Column { return col(name, table.Char, n, true) }
+
+func idx(col string) table.SecondaryIndex {
+	return table.SecondaryIndex{Name: "idx_" + col, Column: col}
+}
+
+// Schemas returns the 21 JOB table schemas. Fact tables carry secondary
+// indices on their foreign keys, as in the paper's setup ("most of the
+// tables have multiple secondary indices").
+func Schemas() []*table.Schema {
+	return []*table.Schema{
+		table.MustSchema("aka_name", []table.Column{
+			ic("id"), ic("person_id"), cc("name", 24),
+		}, "id", idx("person_id")),
+
+		table.MustSchema("aka_title", []table.Column{
+			ic("id"), ic("movie_id"), cc("title", 24), ic("kind_id"),
+		}, "id", idx("movie_id")),
+
+		table.MustSchema("cast_info", []table.Column{
+			ic("id"), ic("person_id"), ic("movie_id"), icn("person_role_id"),
+			ccn("note", 24), icn("nr_order"), ic("role_id"),
+		}, "id", idx("person_id"), idx("movie_id"), idx("role_id"), idx("person_role_id")),
+
+		table.MustSchema("char_name", []table.Column{
+			ic("id"), cc("name", 24),
+		}, "id"),
+
+		table.MustSchema("comp_cast_type", []table.Column{
+			ic("id"), cc("kind", 20),
+		}, "id"),
+
+		table.MustSchema("company_name", []table.Column{
+			ic("id"), cc("name", 24), ccn("country_code", 8),
+		}, "id", idx("country_code")),
+
+		table.MustSchema("company_type", []table.Column{
+			ic("id"), cc("kind", 28),
+		}, "id"),
+
+		table.MustSchema("complete_cast", []table.Column{
+			ic("id"), ic("movie_id"), ic("subject_id"), ic("status_id"),
+		}, "id", idx("movie_id"), idx("subject_id"), idx("status_id")),
+
+		table.MustSchema("info_type", []table.Column{
+			ic("id"), cc("info", 16),
+		}, "id"),
+
+		table.MustSchema("keyword", []table.Column{
+			ic("id"), cc("keyword", 28),
+		}, "id", idx("keyword")),
+
+		table.MustSchema("kind_type", []table.Column{
+			ic("id"), cc("kind", 16),
+		}, "id"),
+
+		table.MustSchema("link_type", []table.Column{
+			ic("id"), cc("link", 16),
+		}, "id"),
+
+		table.MustSchema("movie_companies", []table.Column{
+			ic("id"), ic("movie_id"), ic("company_id"), ic("company_type_id"),
+			ccn("note", 40),
+		}, "id", idx("movie_id"), idx("company_id"), idx("company_type_id")),
+
+		table.MustSchema("movie_info", []table.Column{
+			ic("id"), ic("movie_id"), ic("info_type_id"), cc("info", 16),
+			ccn("note", 16),
+		}, "id", idx("movie_id"), idx("info_type_id")),
+
+		table.MustSchema("movie_info_idx", []table.Column{
+			ic("id"), ic("movie_id"), ic("info_type_id"), cc("info", 8),
+		}, "id", idx("movie_id"), idx("info_type_id")),
+
+		table.MustSchema("movie_keyword", []table.Column{
+			ic("id"), ic("movie_id"), ic("keyword_id"),
+		}, "id", idx("movie_id"), idx("keyword_id")),
+
+		table.MustSchema("movie_link", []table.Column{
+			ic("id"), ic("movie_id"), ic("linked_movie_id"), ic("link_type_id"),
+		}, "id", idx("movie_id"), idx("linked_movie_id"), idx("link_type_id")),
+
+		table.MustSchema("name", []table.Column{
+			ic("id"), cc("name", 24), ccn("gender", 4), ccn("name_pcode_cf", 8),
+		}, "id", idx("gender")),
+
+		table.MustSchema("person_info", []table.Column{
+			ic("id"), ic("person_id"), ic("info_type_id"), cc("info", 16),
+			ccn("note", 16),
+		}, "id", idx("person_id"), idx("info_type_id")),
+
+		table.MustSchema("role_type", []table.Column{
+			ic("id"), cc("role", 20),
+		}, "id"),
+
+		table.MustSchema("title", []table.Column{
+			ic("id"), cc("title", 24), ic("kind_id"), icn("production_year"),
+			icn("episode_nr"),
+		}, "id", idx("kind_id"), idx("production_year")),
+	}
+}
+
+// Dimension value domains shared by the generator and the queries.
+var (
+	CompanyTypes = []string{
+		"production companies", "distributors",
+		"special effects companies", "miscellaneous companies",
+	}
+	KindTypes = []string{
+		"movie", "tv movie", "video movie", "tv series",
+		"video game", "episode", "tv mini series",
+	}
+	LinkTypes = []string{
+		"follows", "followed by", "remake of", "remade as",
+		"references", "referenced in", "spoofs", "spoofed in",
+		"features", "featured in", "spin off from", "spin off",
+		"version of", "similar to", "edited into", "edited from",
+		"alternate language version of", "unknown link",
+	}
+	RoleTypes = []string{
+		"actor", "actress", "producer", "writer", "cinematographer",
+		"composer", "costume designer", "director", "editor", "guest",
+		"miscellaneous crew", "production designer",
+	}
+	CompCastTypes = []string{"cast", "crew", "complete", "complete+verified"}
+
+	// InfoTypes holds the first (named) info types; ids are 1-based. The
+	// underscored spellings follow the paper's JOB adaptation (Listing 1).
+	InfoTypes = []string{
+		"genres", "languages", "release dates", "budget", "rating",
+		"votes", "mini biography", "trivia", "height", "top_250_rank",
+		"bottom_10_rank", "countries",
+	}
+	NumInfoTypes = 113
+
+	Genres = []string{
+		"Drama", "Comedy", "Documentary", "Horror", "Action",
+		"Thriller", "Romance", "Sci-Fi", "Adventure", "Crime",
+	}
+	Languages = []string{
+		"English", "German", "French", "Spanish", "Japanese",
+		"Italian", "Swedish", "Danish", "Portuguese",
+	}
+	Countries = []string{
+		"USA", "Germany", "France", "Spain", "Japan",
+		"Italy", "Sweden", "Denmark", "UK",
+	}
+	CountryCodes = []string{
+		"[us]", "[de]", "[fr]", "[es]", "[jp]", "[it]", "[se]", "[dk]", "[gb]",
+	}
+	// NamedKeywords are the low-id hot keywords queries reference.
+	NamedKeywords = []string{
+		"character-name-in-title", "superhero", "sequel", "based-on-novel",
+		"murder", "blood", "violence", "marvel-cinematic-universe",
+		"based-on-comic", "revenge", "magnet", "internet",
+		"10,000-mile-club", "hero", "martial-arts", "fight",
+	}
+	// CastNotes is the note domain of cast_info.
+	CastNotes = []string{
+		"(voice)", "(uncredited)", "(producer)", "(executive producer)",
+		"(voice) (uncredited)", "(writer)", "(head writer)",
+		"(voice: English version)", "(archive footage)", "(as himself)",
+	}
+	// CompanyNotes is the note domain of movie_companies.
+	CompanyNotes = []string{
+		"(co-production)", "(presents)", "(as Metro-Goldwyn-Mayer Pictures)",
+		"(VHS)", "(USA)", "(worldwide)", "(2006) (USA) (DVD)",
+		"(2013) (worldwide) (TV)", "(theatrical)", "(video)",
+	}
+)
+
+// InfoTypeID returns the 1-based id of a named info type, or -1.
+func InfoTypeID(name string) int32 {
+	for i, n := range InfoTypes {
+		if n == name {
+			return int32(i + 1)
+		}
+	}
+	return -1
+}

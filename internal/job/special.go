@@ -1,0 +1,64 @@
+package job
+
+import (
+	"hybridndp/internal/query"
+)
+
+// ExtensionQueries exercises operations nKV supports in-situ but JOB itself
+// never uses: GROUP BY with COUNT/SUM/AVG aggregation pipelines (paper §2.1
+// lists GROUP BY and aggregation functions among the offloadable operation
+// types). They extend the benchmark the way the paper's "complete NDP
+// pipelines" claim implies.
+func ExtensionQueries() []*query.Query {
+	perKind := nq("ext-movies-per-kind").
+		t("t:title", "kt:kind_type").
+		j("kt.id=t.kind_id").
+		f("t", gti("production_year", 1990)).
+		groupBy("kt.kind").
+		count().
+		build()
+
+	companiesPerCountry := nq("ext-companies-per-country").
+		t("cn:company_name", "mc:movie_companies").
+		j("cn.id=mc.company_id").
+		f("cn", notnull("country_code")).
+		groupBy("cn.country_code").
+		count().
+		build()
+
+	rolesPerType := nq("ext-roles").
+		t("rt:role_type", "ci:cast_info", "n:name").
+		j("rt.id=ci.role_id", "n.id=ci.person_id").
+		f("n", eqs("gender", "f")).
+		groupBy("rt.role").
+		count().
+		build()
+
+	return []*query.Query{perKind, companiesPerCountry, rolesPerType}
+}
+
+// Listing2 is the Exp 4 query of the paper: two tables joined on non-indexed
+// columns, shrunk through a primary-key range (Listing 2):
+//
+//	SELECT * FROM movie_keyword, movie_link
+//	WHERE movie_link.id <= <maxID> AND
+//	      movie_keyword.movie_id = movie_link.movie_id;
+//
+// The join columns are movie_id on both sides; fullProjection selects * while
+// the limited variant projects only the ids (Exp 4/5 run both).
+func Listing2(maxLinkID int32, fullProjection bool) *query.Query {
+	b := nq("listing2").
+		t("mk:movie_keyword", "ml:movie_link").
+		j("mk.movie_id=ml.movie_id").
+		f("ml", lei("id", maxLinkID))
+	if !fullProjection {
+		b.out("mk.id", "ml.id")
+	}
+	q := b.build()
+	if fullProjection {
+		q.Name = "listing2-full"
+	} else {
+		q.Name = "listing2-limited"
+	}
+	return q
+}

@@ -1,0 +1,123 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"hybridndp/internal/flash"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/lsm"
+)
+
+// Durable-mode support: one flash-rooted database manifest maps every column
+// family to its tree manifest, so the whole nKV instance (all tables and all
+// secondary indexes) survives a restart through ReopenDB.
+
+const dbManifestMagic = 0x6e4b5644 // "nKVD"
+
+// OpenDurable creates a database whose column families log to WALs and keep
+// flash-rooted manifests.
+func OpenDurable(fl *flash.Flash, model hw.Model, cfg lsm.Config) *DB {
+	cfg.Durable = true
+	db := Open(fl, model, cfg)
+	db.durable = true
+	db.cfManifests = make(map[string]flash.FileID)
+	return db
+}
+
+// registerManifestHook wires a column family's tree manifests into the
+// database manifest.
+func (db *DB) manifestHook(name string) func(flash.FileID) error {
+	return func(id flash.FileID) error {
+		db.manifestMu.Lock()
+		defer db.manifestMu.Unlock()
+		db.cfManifests[name] = id
+		return db.persistDBManifestLocked()
+	}
+}
+
+// persistDBManifestLocked rewrites the database manifest and installs it as
+// the flash root (write-new-then-switch).
+func (db *DB) persistDBManifestLocked() error {
+	names := make([]string, 0, len(db.cfManifests))
+	for n := range db.cfManifests {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, dbManifestMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(names)))
+	for _, n := range names {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n)))
+		buf = append(buf, n...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(db.cfManifests[n]))
+	}
+	id, err := db.fl.WriteFile(buf, nil, hw.Rates{})
+	if err != nil {
+		return err
+	}
+	old := db.fl.Root()
+	db.fl.SetRoot(id)
+	if old != 0 {
+		db.fl.DeleteFile(old)
+	}
+	return nil
+}
+
+func decodeDBManifest(raw []byte) (map[string]flash.FileID, error) {
+	if len(raw) < 8 || binary.LittleEndian.Uint32(raw) != dbManifestMagic {
+		return nil, fmt.Errorf("kv: bad database manifest")
+	}
+	n := binary.LittleEndian.Uint32(raw[4:])
+	raw = raw[8:]
+	out := make(map[string]flash.FileID, n)
+	for i := uint32(0); i < n; i++ {
+		if len(raw) < 4 {
+			return nil, fmt.Errorf("kv: truncated database manifest")
+		}
+		l := binary.LittleEndian.Uint32(raw)
+		raw = raw[4:]
+		if uint32(len(raw)) < l+8 {
+			return nil, fmt.Errorf("kv: truncated database manifest entry")
+		}
+		name := string(raw[:l])
+		raw = raw[l:]
+		out[name] = flash.FileID(binary.LittleEndian.Uint64(raw))
+		raw = raw[8:]
+	}
+	return out, nil
+}
+
+// ReopenDB rebuilds a durable database from the flash root: every column
+// family's tree is reopened from its manifest and its WAL replayed.
+func ReopenDB(fl *flash.Flash, model hw.Model, cfg lsm.Config) (*DB, error) {
+	root := fl.Root()
+	if root == 0 {
+		return nil, fmt.Errorf("kv: no database manifest on this flash")
+	}
+	raw, err := fl.ReadFile(root, nil, hw.Rates{})
+	if err != nil {
+		return nil, err
+	}
+	manifests, err := decodeDBManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	db := OpenDurable(fl, model, cfg)
+	for name, mid := range manifests {
+		treeCfg := db.cfg
+		treeCfg.OnManifest = db.manifestHook(name)
+		tree, err := lsm.ReopenFromManifest(fl, treeCfg, mid)
+		if err != nil {
+			return nil, fmt.Errorf("kv: reopening column family %q: %v", name, err)
+		}
+		db.mu.Lock()
+		db.cfs[name] = &ColumnFamily{name: name, tree: tree}
+		db.mu.Unlock()
+		db.manifestMu.Lock()
+		db.cfManifests[name] = mid
+		db.manifestMu.Unlock()
+	}
+	return db, nil
+}

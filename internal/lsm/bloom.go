@@ -1,0 +1,81 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Bloom is a standard Bloom filter over record keys, used by the host engine
+// (as in MyRocks/RocksDB) to exclude SST files during point lookups. Per the
+// paper, the NDP engine does not probe Bloom filters on device — they have
+// already been probed on the host side when the invocation was built.
+type Bloom struct {
+	bits []byte
+	k    uint32
+}
+
+// NewBloom sizes a filter for n keys at roughly 10 bits per key (k=7), the
+// RocksDB default ballpark.
+func NewBloom(n int) *Bloom {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * 10
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &Bloom{bits: make([]byte, (nbits+7)/8), k: 7}
+}
+
+func bloomHash(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	return h1, h2
+}
+
+// Add inserts a key.
+func (b *Bloom) Add(key []byte) {
+	h1, h2 := bloomHash(key)
+	nbits := uint64(len(b.bits)) * 8
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		b.bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// MayContain reports whether the key is possibly present.
+func (b *Bloom) MayContain(key []byte) bool {
+	if len(b.bits) == 0 {
+		return true
+	}
+	h1, h2 := bloomHash(key)
+	nbits := uint64(len(b.bits)) * 8
+	for i := uint32(0); i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % nbits
+		if b.bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Marshal serializes the filter.
+func (b *Bloom) Marshal() []byte {
+	out := make([]byte, 4+len(b.bits))
+	binary.LittleEndian.PutUint32(out, b.k)
+	copy(out[4:], b.bits)
+	return out
+}
+
+// UnmarshalBloom deserializes a filter.
+func UnmarshalBloom(data []byte) *Bloom {
+	if len(data) < 4 {
+		return &Bloom{bits: nil, k: 7}
+	}
+	k := binary.LittleEndian.Uint32(data)
+	bits := make([]byte, len(data)-4)
+	copy(bits, data[4:])
+	return &Bloom{bits: bits, k: k}
+}

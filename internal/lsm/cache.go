@@ -1,0 +1,93 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+
+	"hybridndp/internal/flash"
+)
+
+// BlockCache is an LRU cache of decoded data blocks, the equivalent of the
+// RocksDB block cache on the host and of the on-device data-block buffer
+// inside the NDP engine's temporary-storage reservation. A cache hit avoids
+// the flash read entirely; the reading engine charges only the in-memory
+// copy. Each engine owns its cache (host: large, bounded by hw_MSH; device:
+// small, part of the 520 MB temporary storage), and executions start cold so
+// strategy comparisons are order-independent.
+type BlockCache struct {
+	mu   sync.Mutex
+	cap  int64
+	used int64
+	lru  *list.List
+	m    map[blockKey]*list.Element
+
+	hits   int64
+	misses int64
+}
+
+type blockKey struct {
+	file  flash.FileID
+	block int
+}
+
+type cacheEntry struct {
+	key     blockKey
+	entries []Entry
+	bytes   int64
+}
+
+// NewBlockCache creates a cache bounded to capacity bytes (≤0 disables it).
+func NewBlockCache(capacity int64) *BlockCache {
+	return &BlockCache{cap: capacity, lru: list.New(), m: make(map[blockKey]*list.Element)}
+}
+
+// Get returns the cached block, if present.
+func (c *BlockCache) Get(file flash.FileID, block int) ([]Entry, bool) {
+	if c == nil || c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[blockKey{file, block}]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).entries, true
+}
+
+// Put inserts a decoded block, evicting LRU entries as needed.
+func (c *BlockCache) Put(file flash.FileID, block int, entries []Entry, rawBytes int64) {
+	if c == nil || c.cap <= 0 || rawBytes > c.cap {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := blockKey{file, block}
+	if el, ok := c.m[k]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.used+rawBytes > c.cap && c.lru.Len() > 0 {
+		back := c.lru.Back()
+		ce := back.Value.(*cacheEntry)
+		c.used -= ce.bytes
+		delete(c.m, ce.key)
+		c.lru.Remove(back)
+	}
+	el := c.lru.PushFront(&cacheEntry{key: k, entries: entries, bytes: rawBytes})
+	c.m[k] = el
+	c.used += rawBytes
+}
+
+// Stats reports hit/miss counters and occupancy.
+func (c *BlockCache) Stats() (hits, misses, used int64) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.used
+}

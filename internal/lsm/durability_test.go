@@ -1,0 +1,198 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hybridndp/internal/flash"
+)
+
+func durableCfg() Config {
+	return Config{
+		MemTableBytes:  8 << 10,
+		MaxL1Files:     4,
+		LevelRatio:     4,
+		BaseLevelBytes: 64 << 10,
+		Durable:        true,
+		WALSyncBytes:   1 << 10,
+	}
+}
+
+func TestReopenRestoresFlushedData(t *testing.T) {
+	fl := testFlash()
+	tr := NewTree(fl, durableCfg())
+	for i := 0; i < 3000; i++ {
+		if err := tr.Put(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// "Crash": drop the tree, reopen from the flash root.
+	re, err := Reopen(fl, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 42, 1500, 2999} {
+		v, ok, err := re.Get(key(i), Access{})
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%d) after reopen = %q,%v,%v", i, v, ok, err)
+		}
+	}
+	n := 0
+	for it := re.Scan(nil, nil, Access{}); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 3000 {
+		t.Fatalf("reopened scan found %d keys", n)
+	}
+}
+
+func TestReopenReplaysWAL(t *testing.T) {
+	fl := testFlash()
+	tr := NewTree(fl, durableCfg())
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), val(i))
+	}
+	tr.Flush()
+	// Un-flushed tail: updates, inserts and a delete, then Sync (group
+	// commit) without flushing.
+	tr.Put(key(100), []byte("updated"))
+	tr.Put(key(9000), []byte("fresh"))
+	tr.Delete(key(200))
+	if err := tr.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Reopen(fl, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := re.Get(key(100), Access{}); !ok || string(v) != "updated" {
+		t.Fatalf("replayed update lost: %q %v", v, ok)
+	}
+	if v, ok, _ := re.Get(key(9000), Access{}); !ok || string(v) != "fresh" {
+		t.Fatalf("replayed insert lost: %q %v", v, ok)
+	}
+	if _, ok, _ := re.Get(key(200), Access{}); ok {
+		t.Fatal("replayed tombstone lost")
+	}
+	if v, ok, _ := re.Get(key(300), Access{}); !ok || !bytes.Equal(v, val(300)) {
+		t.Fatal("flushed data lost during replay")
+	}
+}
+
+func TestReopenSurvivesSecondRestart(t *testing.T) {
+	fl := testFlash()
+	tr := NewTree(fl, durableCfg())
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), val(i))
+	}
+	tr.Flush()
+	re1, err := Reopen(fl, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write through the reopened tree, flush, restart again.
+	for i := 1000; i < 1500; i++ {
+		re1.Put(key(i), val(i))
+	}
+	if err := re1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	re2, err := Reopen(fl, durableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for it := re2.Scan(nil, nil, Access{}); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 1500 {
+		t.Fatalf("second reopen found %d keys, want 1500", n)
+	}
+}
+
+func TestReopenErrors(t *testing.T) {
+	fl := testFlash()
+	if _, err := Reopen(fl, durableCfg()); err == nil {
+		t.Fatal("reopen without a root must fail")
+	}
+	cfg := durableCfg()
+	cfg.Durable = false
+	if _, err := Reopen(fl, cfg); err == nil {
+		t.Fatal("reopen without Durable must fail")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := &manifest{
+		l1:     []flash.FileID{3, 1, 2},
+		levels: [][]flash.FileID{{7, 8}, {}, {9}},
+		wal:    []flash.FileID{11},
+		tiered: true,
+	}
+	got, err := decodeManifest(m.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(m) {
+		t.Fatalf("round trip mismatch:\n%v\n%v", got, m)
+	}
+	if _, err := decodeManifest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated manifest accepted")
+	}
+	if _, err := decodeManifest(make([]byte, 16)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDurabilityProperty(t *testing.T) {
+	// Random put/delete workload; after Sync + reopen, the tree matches the
+	// model exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fl := testFlash()
+		tr := NewTree(fl, durableCfg())
+		model := map[string]string{}
+		for op := 0; op < 1500; op++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(200))
+			if rng.Intn(4) == 0 {
+				tr.Delete([]byte(k))
+				delete(model, k)
+			} else {
+				v := fmt.Sprintf("v%d", op)
+				tr.Put([]byte(k), []byte(v))
+				model[k] = v
+			}
+		}
+		if err := tr.Sync(); err != nil {
+			return false
+		}
+		re, err := Reopen(fl, durableCfg())
+		if err != nil {
+			return false
+		}
+		for k, v := range model {
+			got, ok, err := re.Get([]byte(k), Access{})
+			if err != nil || !ok || string(got) != v {
+				return false
+			}
+		}
+		n := 0
+		for it := re.Scan(nil, nil, Access{}); it.Valid(); it.Next() {
+			if model[string(it.Entry().Key)] != string(it.Entry().Value) {
+				return false
+			}
+			n++
+		}
+		return n == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

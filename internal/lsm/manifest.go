@@ -1,0 +1,218 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"hybridndp/internal/flash"
+	"hybridndp/internal/hw"
+)
+
+// manifest is the tree's durable root: the SST file IDs of every level plus
+// the live WAL segments. It is rewritten after every flush/compaction and
+// installed through the flash root pointer, so Reopen can rebuild the exact
+// tree after a restart.
+type manifest struct {
+	l1     []flash.FileID
+	levels [][]flash.FileID
+	wal    []flash.FileID
+	tiered bool
+}
+
+const manifestMagic = 0x6e4b564d // "nKVM"
+
+func (m *manifest) encode() []byte {
+	var buf []byte
+	put32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	put64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	putIDs := func(ids []flash.FileID) {
+		put32(uint32(len(ids)))
+		for _, id := range ids {
+			put64(uint64(id))
+		}
+	}
+	put32(manifestMagic)
+	if m.tiered {
+		put32(1)
+	} else {
+		put32(0)
+	}
+	putIDs(m.l1)
+	put32(uint32(len(m.levels)))
+	for _, lvl := range m.levels {
+		putIDs(lvl)
+	}
+	putIDs(m.wal)
+	return buf
+}
+
+func decodeManifest(raw []byte) (*manifest, error) {
+	m := &manifest{}
+	get32 := func() (uint32, error) {
+		if len(raw) < 4 {
+			return 0, fmt.Errorf("lsm: truncated manifest")
+		}
+		v := binary.LittleEndian.Uint32(raw)
+		raw = raw[4:]
+		return v, nil
+	}
+	getIDs := func() ([]flash.FileID, error) {
+		n, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(raw)) < uint64(n)*8 {
+			return nil, fmt.Errorf("lsm: truncated manifest id list")
+		}
+		ids := make([]flash.FileID, n)
+		for i := range ids {
+			ids[i] = flash.FileID(binary.LittleEndian.Uint64(raw))
+			raw = raw[8:]
+		}
+		return ids, nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != manifestMagic {
+		return nil, fmt.Errorf("lsm: bad manifest magic %#x", magic)
+	}
+	tiered, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	m.tiered = tiered == 1
+	if m.l1, err = getIDs(); err != nil {
+		return nil, err
+	}
+	nLevels, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nLevels; i++ {
+		lvl, err := getIDs()
+		if err != nil {
+			return nil, err
+		}
+		m.levels = append(m.levels, lvl)
+	}
+	if m.wal, err = getIDs(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// persistManifest writes the current structure and installs it — as the
+// flash root in single-tree mode, or through the OnManifest callback when a
+// higher layer (the nKV multi-CF manifest) owns the root. The previous
+// manifest file is retired afterwards (write-new-then-switch, so a crash
+// between the two steps keeps a valid root).
+func (t *Tree) persistManifest() error {
+	if !t.cfg.Durable {
+		return nil
+	}
+	m := &manifest{tiered: t.cfg.Tiered}
+	for _, s := range t.l1 {
+		m.l1 = append(m.l1, s.File())
+	}
+	for _, lvl := range t.levels {
+		var ids []flash.FileID
+		for _, s := range lvl {
+			ids = append(ids, s.File())
+		}
+		m.levels = append(m.levels, ids)
+	}
+	if t.wal != nil {
+		m.wal = t.wal.Segments()
+	}
+	id, err := t.fl.WriteFile(m.encode(), nil, hw.Rates{})
+	if err != nil {
+		return err
+	}
+	if t.cfg.OnManifest != nil {
+		old := t.manifestID
+		t.manifestID = id
+		if err := t.cfg.OnManifest(id); err != nil {
+			return err
+		}
+		if old != 0 {
+			t.fl.DeleteFile(old)
+		}
+		return nil
+	}
+	old := t.fl.Root()
+	t.fl.SetRoot(id)
+	if old != 0 {
+		t.fl.DeleteFile(old)
+	}
+	return nil
+}
+
+// Reopen rebuilds a tree from the flash root manifest: SSTs are reopened per
+// level and the WAL segments are replayed into a fresh memtable, restoring
+// the pre-restart state (paper §2.2's RocksDB recovery semantics). The
+// config must enable Durable.
+func Reopen(fl *flash.Flash, cfg Config) (*Tree, error) {
+	root := fl.Root()
+	if root == 0 {
+		return nil, fmt.Errorf("lsm: no manifest root on this flash")
+	}
+	return ReopenFromManifest(fl, cfg, root)
+}
+
+// ReopenFromManifest rebuilds a tree from an explicit manifest file — the
+// entry point used by the nKV layer, which keeps one manifest per column
+// family under its own root.
+func ReopenFromManifest(fl *flash.Flash, cfg Config, root flash.FileID) (*Tree, error) {
+	if !cfg.Durable {
+		return nil, fmt.Errorf("lsm: Reopen requires Config.Durable")
+	}
+	raw, err := fl.ReadFile(root, nil, hw.Rates{})
+	if err != nil {
+		return nil, err
+	}
+	m, err := decodeManifest(raw)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Tiered = m.tiered
+	t := NewTree(fl, cfg)
+	t.manifestID = root
+	for _, id := range m.l1 {
+		s, err := OpenSST(fl, id)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: reopening C1 SST %d: %v", id, err)
+		}
+		t.l1 = append(t.l1, s)
+	}
+	for _, lvl := range m.levels {
+		var ssts []*SST
+		for _, id := range lvl {
+			s, err := OpenSST(fl, id)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: reopening SST %d: %v", id, err)
+			}
+			ssts = append(ssts, s)
+		}
+		t.levels = append(t.levels, ssts)
+	}
+	// Replay the WAL in append order: later records overwrite earlier ones
+	// in the fresh memtable, restoring the newest versions.
+	for _, seg := range m.wal {
+		entries, err := replaySegment(fl, seg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.Tombstone {
+				t.mem.Delete(e.Key)
+			} else {
+				t.mem.Put(e.Key, e.Value)
+			}
+		}
+		// The recovered segments stay live until the next flush.
+		t.wal.segments = append(t.wal.segments, seg)
+	}
+	return t, nil
+}

@@ -1,0 +1,140 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+)
+
+// Entry is one key/value pair. Tombstone marks a deletion that masks older
+// versions on lower levels until compaction reclaims them.
+type Entry struct {
+	Key       []byte
+	Value     []byte
+	Tombstone bool
+}
+
+const maxSkipHeight = 12
+
+type skipNode struct {
+	entry Entry
+	next  [maxSkipHeight]*skipNode
+}
+
+// MemTable is the in-memory C0 component: a skiplist, as in RocksDB. Once it
+// reaches its size threshold it becomes immutable and is flushed to an SST.
+type MemTable struct {
+	head     *skipNode
+	height   int
+	count    int
+	byteSize int64
+	rng      *rand.Rand
+}
+
+// NewMemTable returns an empty memtable with a deterministic height source.
+func NewMemTable() *MemTable {
+	return &MemTable{
+		head:   &skipNode{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(42)),
+	}
+}
+
+// Len reports the number of live entries (including tombstones).
+func (m *MemTable) Len() int { return m.count }
+
+// ByteSize reports the approximate memory footprint of the stored entries.
+func (m *MemTable) ByteSize() int64 { return m.byteSize }
+
+func (m *MemTable) randomHeight() int {
+	h := 1
+	for h < maxSkipHeight && m.rng.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// Put inserts or overwrites a key.
+func (m *MemTable) Put(key, value []byte) {
+	m.insert(Entry{Key: append([]byte(nil), key...), Value: append([]byte(nil), value...)})
+}
+
+// Delete inserts a tombstone for key.
+func (m *MemTable) Delete(key []byte) {
+	m.insert(Entry{Key: append([]byte(nil), key...), Tombstone: true})
+}
+
+func (m *MemTable) insert(e Entry) {
+	var prev [maxSkipHeight]*skipNode
+	n := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].entry.Key, e.Key) < 0 {
+			n = n.next[lvl]
+		}
+		prev[lvl] = n
+	}
+	// Overwrite in place if the key exists.
+	if cand := prev[0].next[0]; cand != nil && bytes.Equal(cand.entry.Key, e.Key) {
+		m.byteSize += int64(len(e.Value)) - int64(len(cand.entry.Value))
+		cand.entry.Value = e.Value
+		cand.entry.Tombstone = e.Tombstone
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for lvl := m.height; lvl < h; lvl++ {
+			prev[lvl] = m.head
+		}
+		m.height = h
+	}
+	node := &skipNode{entry: e}
+	for lvl := 0; lvl < h; lvl++ {
+		node.next[lvl] = prev[lvl].next[lvl]
+		prev[lvl].next[lvl] = node
+	}
+	m.count++
+	m.byteSize += int64(len(e.Key)) + int64(len(e.Value)) + 48
+}
+
+// Get returns the entry for key. The boolean reports presence (a tombstone is
+// present with Tombstone=true).
+func (m *MemTable) Get(key []byte) (Entry, bool) {
+	n := m.head
+	for lvl := m.height - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && bytes.Compare(n.next[lvl].entry.Key, key) < 0 {
+			n = n.next[lvl]
+		}
+	}
+	cand := n.next[0]
+	if cand != nil && bytes.Equal(cand.entry.Key, key) {
+		return cand.entry, true
+	}
+	return Entry{}, false
+}
+
+// Iter returns an iterator positioned at the first key ≥ start (nil start
+// means the smallest key).
+func (m *MemTable) Iter(start []byte) *MemIter {
+	n := m.head
+	if start != nil {
+		for lvl := m.height - 1; lvl >= 0; lvl-- {
+			for n.next[lvl] != nil && bytes.Compare(n.next[lvl].entry.Key, start) < 0 {
+				n = n.next[lvl]
+			}
+		}
+	}
+	return &MemIter{node: n.next[0]}
+}
+
+// MemIter walks a memtable in key order.
+type MemIter struct {
+	node *skipNode
+}
+
+// Valid reports whether the iterator is positioned on an entry.
+func (it *MemIter) Valid() bool { return it.node != nil }
+
+// Entry returns the current entry; only valid while Valid().
+func (it *MemIter) Entry() Entry { return it.node.entry }
+
+// Next advances to the next entry.
+func (it *MemIter) Next() { it.node = it.node.next[0] }

@@ -1,0 +1,101 @@
+package lsm
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestViewIsolatedFromLaterWrites(t *testing.T) {
+	fl := testFlash()
+	tr := smallTree(fl)
+	for i := 0; i < 500; i++ {
+		tr.Put(key(i), val(i))
+	}
+	v := tr.View()
+
+	// Concurrent modifications after the snapshot (update-aware NDP: the
+	// device must not see them).
+	tr.Put(key(100), []byte("mutated"))
+	tr.Put(key(9999), []byte("new"))
+	tr.Delete(key(200))
+
+	got, ok, err := v.Get(key(100), Access{})
+	if err != nil || !ok || !bytes.Equal(got, val(100)) {
+		t.Fatalf("view saw the mutation: %q %v %v", got, ok, err)
+	}
+	if _, ok, _ := v.Get(key(9999), Access{}); ok {
+		t.Fatal("view saw a post-snapshot insert")
+	}
+	if got, ok, _ := v.Get(key(200), Access{}); !ok || !bytes.Equal(got, val(200)) {
+		t.Fatal("view saw a post-snapshot delete")
+	}
+	// The live tree sees everything.
+	if got, _, _ := tr.Get(key(100), Access{}); !bytes.Equal(got, []byte("mutated")) {
+		t.Fatal("live tree lost the mutation")
+	}
+
+	// View scans match the snapshot state.
+	n := 0
+	for it := v.Scan(nil, nil, Access{}); it.Valid(); it.Next() {
+		e := it.Entry()
+		if bytes.Equal(e.Key, key(9999)) {
+			t.Fatal("view scan surfaced a post-snapshot key")
+		}
+		if bytes.Equal(e.Key, key(100)) && !bytes.Equal(e.Value, val(100)) {
+			t.Fatal("view scan surfaced a post-snapshot value")
+		}
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("view scan found %d keys, want 500", n)
+	}
+}
+
+func TestViewSeesUnflushedState(t *testing.T) {
+	fl := testFlash()
+	tr := smallTree(fl)
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), val(i))
+	}
+	tr.Flush()
+	// Hot, un-flushed modifications: the shared-state part of the snapshot.
+	tr.Put(key(50), []byte("hot"))
+	tr.Delete(key(60))
+	v := tr.View()
+
+	if got, ok, _ := v.Get(key(50), Access{}); !ok || !bytes.Equal(got, []byte("hot")) {
+		t.Fatalf("view missed the un-flushed update: %q %v", got, ok)
+	}
+	if _, ok, _ := v.Get(key(60), Access{}); ok {
+		t.Fatal("view missed the un-flushed tombstone")
+	}
+	n := 0
+	for it := v.Scan(key(40), key(70), Access{}); it.Valid(); it.Next() {
+		n++
+	}
+	if n != 29 { // 40..69 inclusive range start, minus deleted 60
+		t.Fatalf("ranged view scan found %d keys, want 29", n)
+	}
+}
+
+func TestViewScanBoundsAndOrder(t *testing.T) {
+	fl := testFlash()
+	tr := smallTree(fl)
+	for i := 0; i < 1000; i++ {
+		tr.Put(key(i), val(i))
+	}
+	v := tr.View()
+	var prev []byte
+	n := 0
+	for it := v.Scan(key(123), key(456), Access{}); it.Valid(); it.Next() {
+		k := it.Entry().Key
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatal("view scan out of order")
+		}
+		prev = append(prev[:0], k...)
+		n++
+	}
+	if n != 456-123 {
+		t.Fatalf("view scan found %d keys", n)
+	}
+}

@@ -1,0 +1,110 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hybridndp/internal/flash"
+	"hybridndp/internal/hw"
+)
+
+// WAL is the tree's write-ahead log: Put/Delete records are appended to an
+// in-memory pending buffer and persisted to flash segments (group commit),
+// so the C0 state survives a restart. Once a flush makes all logged data
+// durable in SSTs, the covered segments are dropped.
+type WAL struct {
+	fl        *flash.Flash
+	pending   bytes.Buffer
+	segments  []flash.FileID
+	syncBytes int64
+}
+
+// newWAL creates a log with the given group-commit threshold (≤0 uses 64 KiB).
+func newWAL(fl *flash.Flash, syncBytes int64) *WAL {
+	if syncBytes <= 0 {
+		syncBytes = 64 << 10
+	}
+	return &WAL{fl: fl, syncBytes: syncBytes}
+}
+
+// Append logs one operation, syncing when the pending buffer fills.
+func (w *WAL) Append(e Entry) error {
+	var scratch [binary.MaxVarintLen64]byte
+	flags := byte(0)
+	if e.Tombstone {
+		flags = 1
+	}
+	w.pending.WriteByte(flags)
+	n := binary.PutUvarint(scratch[:], uint64(len(e.Key)))
+	w.pending.Write(scratch[:n])
+	n = binary.PutUvarint(scratch[:], uint64(len(e.Value)))
+	w.pending.Write(scratch[:n])
+	w.pending.Write(e.Key)
+	w.pending.Write(e.Value)
+	if int64(w.pending.Len()) >= w.syncBytes {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync persists the pending buffer as a new segment.
+func (w *WAL) Sync() error {
+	if w.pending.Len() == 0 {
+		return nil
+	}
+	id, err := w.fl.WriteFile(w.pending.Bytes(), nil, hw.Rates{})
+	if err != nil {
+		return err
+	}
+	w.segments = append(w.segments, id)
+	w.pending.Reset()
+	return nil
+}
+
+// Reset drops every segment — called once a flush made the data durable.
+func (w *WAL) Reset() {
+	for _, id := range w.segments {
+		w.fl.DeleteFile(id)
+	}
+	w.segments = nil
+	w.pending.Reset()
+}
+
+// Segments lists the persisted segment IDs in append order.
+func (w *WAL) Segments() []flash.FileID {
+	return append([]flash.FileID(nil), w.segments...)
+}
+
+// replaySegment decodes one WAL segment into entries.
+func replaySegment(fl *flash.Flash, id flash.FileID) ([]Entry, error) {
+	raw, err := fl.ReadFile(id, nil, hw.Rates{})
+	if err != nil {
+		return nil, err
+	}
+	var out []Entry
+	for len(raw) > 0 {
+		flags := raw[0]
+		raw = raw[1:]
+		klen, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("lsm: corrupt WAL segment %d (key length)", id)
+		}
+		raw = raw[n:]
+		vlen, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return nil, fmt.Errorf("lsm: corrupt WAL segment %d (value length)", id)
+		}
+		raw = raw[n:]
+		if uint64(len(raw)) < klen+vlen {
+			return nil, fmt.Errorf("lsm: truncated WAL segment %d", id)
+		}
+		out = append(out, Entry{
+			Key:       append([]byte(nil), raw[:klen]...),
+			Value:     append([]byte(nil), raw[klen:klen+vlen]...),
+			Tombstone: flags&1 != 0,
+		})
+		raw = raw[klen+vlen:]
+	}
+	return out, nil
+}

@@ -1,0 +1,212 @@
+package optimizer_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridndp/internal/exec"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/job"
+	"hybridndp/internal/optimizer"
+)
+
+var (
+	dsOnce sync.Once
+	ds     *job.Dataset
+	dsErr  error
+)
+
+func testOpt(t *testing.T) (*job.Dataset, *optimizer.Optimizer) {
+	t.Helper()
+	dsOnce.Do(func() {
+		ds, dsErr = job.Load(0.01, hw.Cosmos())
+	})
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	return ds, optimizer.New(ds.Cat, ds.Model)
+}
+
+func TestBuildPlanCoversAllTablesOnce(t *testing.T) {
+	_, opt := testOpt(t)
+	for _, name := range []string{"1a", "8c", "17b", "29a", "33c"} {
+		q := job.QueryByName(name)
+		p, err := opt.BuildPlan(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.NumTables() != len(q.Tables) {
+			t.Fatalf("%s: plan has %d tables, query %d", name, p.NumTables(), len(q.Tables))
+		}
+		seen := map[string]bool{}
+		for _, a := range p.Aliases() {
+			if seen[a] {
+				t.Fatalf("%s: alias %s appears twice", name, a)
+			}
+			seen[a] = true
+		}
+		// Every join step must have at least one bound condition (connected
+		// left-deep order).
+		for i, st := range p.Steps {
+			if len(st.Conds) == 0 {
+				t.Fatalf("%s: step %d is a cross product", name, i)
+			}
+			for _, c := range st.Conds {
+				if c.LeftPos < 0 || c.LeftPos > i {
+					t.Fatalf("%s: step %d condition references future position %d", name, i, c.LeftPos)
+				}
+			}
+		}
+	}
+}
+
+func TestPlansForAll113Queries(t *testing.T) {
+	_, opt := testOpt(t)
+	for _, q := range job.Queries() {
+		p, err := opt.BuildPlan(q)
+		if err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+			continue
+		}
+		if p.EstTotalRows < 0 {
+			t.Errorf("%s: negative cardinality estimate", q.Name)
+		}
+	}
+}
+
+func TestDrivingTableIsSelective(t *testing.T) {
+	_, opt := testOpt(t)
+	// 17b: keyword has an equality filter over an indexed column; the
+	// optimizer should drive from a selective access path, not cast_info.
+	p, err := opt.BuildPlan(job.QueryByName("17b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Driving.Ref.Table == "cast_info" || p.Driving.Ref.Table == "movie_keyword" {
+		t.Fatalf("driving table %s is a fact table; expected a selective dimension", p.Driving.Ref.Table)
+	}
+}
+
+func TestIndexAccessPathForSelectiveEquality(t *testing.T) {
+	_, opt := testOpt(t)
+	// keyword.keyword = '...' is highly selective and idx_keyword exists.
+	p, err := opt.BuildPlan(job.QueryByName("17b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	check := func(ap exec.AccessPath) {
+		if ap.Ref.Table == "keyword" {
+			found = true
+			if !ap.UseFilterIndex || ap.FilterIndex != "idx_keyword" {
+				t.Fatalf("keyword access should use idx_keyword, got %+v", ap)
+			}
+		}
+	}
+	check(p.Driving)
+	for _, st := range p.Steps {
+		check(st.Right)
+	}
+	if !found {
+		t.Fatal("keyword table missing from plan")
+	}
+}
+
+func TestDecisionHasReasonAndConsistentCosts(t *testing.T) {
+	_, opt := testOpt(t)
+	for _, name := range []string{"1a", "8c", "32b"} {
+		d, err := opt.Decide(job.QueryByName(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Reason == "" {
+			t.Fatalf("%s: no reason", name)
+		}
+		if d.Hybrid && d.NDP {
+			t.Fatalf("%s: contradictory decision", name)
+		}
+		label := d.StrategyLabel()
+		if label == "" {
+			t.Fatalf("%s: empty label", name)
+		}
+		if d.Hybrid && !strings.HasPrefix(label, "H") {
+			t.Fatalf("%s: hybrid label %q", name, label)
+		}
+	}
+}
+
+func TestNDPNotMountedForcesHost(t *testing.T) {
+	ds, _ := testOpt(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	opt.NDPMounted = false
+	d, err := opt.Decide(job.QueryByName("8c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hybrid || d.NDP {
+		t.Fatal("unmounted device must force host-only")
+	}
+	if !strings.Contains(d.Reason, "mounted") {
+		t.Fatalf("reason %q should mention the mount precondition", d.Reason)
+	}
+}
+
+func TestMinVolumePrecondition(t *testing.T) {
+	ds, _ := testOpt(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	opt.MinDeviceBytes = 1 << 50 // nothing qualifies
+	d, err := opt.Decide(job.QueryByName("8c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hybrid || d.NDP {
+		t.Fatal("below-minimum volume must force host-only")
+	}
+}
+
+func TestDeviceMemoryLimitBlocksDeepSplits(t *testing.T) {
+	ds, _ := testOpt(t)
+	m := ds.Model
+	// Shrink the budget so only tiny offloads fit.
+	m.DeviceNDPBudget = m.SelBufBytes * 2
+	opt := optimizer.New(ds.Cat, m)
+	d, err := opt.Decide(job.QueryByName("29a")) // 16-table query
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hybrid && d.Split > 1 {
+		t.Fatalf("budget-constrained device accepted split H%d", d.Split)
+	}
+}
+
+func TestJoinTypeSelectionPrefersIndexForSelectiveProbes(t *testing.T) {
+	_, opt := testOpt(t)
+	// 32b drives from an extremely selective keyword; joins against title
+	// via PK should become BNLI.
+	p, err := opt.BuildPlan(job.QueryByName("32b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasBNLI := false
+	for _, st := range p.Steps {
+		if st.Type == exec.BNLI {
+			hasBNLI = true
+			if !st.RightIndexIsPK && st.RightIndex == "" {
+				t.Fatal("BNLI step without an index binding")
+			}
+		}
+	}
+	if !hasBNLI {
+		t.Skip("optimizer chose buffered joins throughout (estimate-dependent)")
+	}
+}
+
+func TestSingleTableDecision(t *testing.T) {
+	ds, opt := testOpt(t)
+	_ = ds
+	q := job.Listing2(1<<30, false) // 2 tables
+	if _, err := opt.Decide(q); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+// Package sql implements a small SQL front end for the query model: the
+// SELECT-PROJECT-JOIN-AGGREGATE dialect the Join-Order Benchmark uses
+// (SELECT MIN(...)/columns FROM t AS a, ... WHERE <conjunction> GROUP BY ...),
+// which is exactly the shape nKV's MySQL layer hands to hybridNDP. Parsed
+// statements compile to query.Query values ready for the optimizer.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , ; . = < > <= >= <> !=
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "LIKE": true, "IN": true, "BETWEEN": true, "IS": true,
+	"NULL": true, "AS": true, "GROUP": true, "BY": true, "MIN": true,
+	"MAX": true, "SUM": true, "AVG": true, "COUNT": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, identifiers as written
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lex splits the input into tokens. SQL strings use single quotes with ”
+// escaping; identifiers are bare words; keywords are case-insensitive.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= len(input) {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				}
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			out = append(out, token{tokString, sb.String(), start})
+		case c >= '0' && c <= '9' || c == '-' && i+1 < len(input) && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			i++
+			for i < len(input) && input[i] >= '0' && input[i] <= '9' {
+				i++
+			}
+			out = append(out, token{tokNumber, input[start:i], start})
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(input) && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				out = append(out, token{tokKeyword, up, start})
+			} else {
+				out = append(out, token{tokIdent, word, start})
+			}
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < len(input) && (input[i] == '=' || c == '<' && input[i] == '>') {
+				i++
+			}
+			out = append(out, token{tokSymbol, input[start:i], start})
+		case strings.ContainsRune("(),;.=*", rune(c)):
+			out = append(out, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(input)})
+	return out, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

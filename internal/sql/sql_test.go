@@ -1,0 +1,200 @@
+package sql
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hybridndp/internal/expr"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/job"
+	"hybridndp/internal/query"
+)
+
+func mustParse(t *testing.T, s string) *query.Query {
+	t.Helper()
+	q, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return q
+}
+
+func TestParseListing1(t *testing.T) {
+	// Paper Listing 1 (JOB Q1.a), verbatim shape.
+	q := mustParse(t, `
+SELECT MIN(mc.note), MIN(t.title), MIN(t.production_year)
+FROM company_type AS ct, info_type AS it,
+     movie_info_idx AS mi_idx, title AS t,
+     movie_companies AS mc
+WHERE ct.kind = 'production companies'
+AND it.info = 'top_250_rank'
+AND mc.note NOT LIKE '%(as Metro-Goldwyn-Mayer Pictures)%'
+AND (mc.note LIKE '%(co-production)%' OR mc.note LIKE '%(presents)%')
+AND ct.id = mc.company_type_id
+AND t.id = mc.movie_id
+AND t.id = mi_idx.movie_id
+AND mc.movie_id = mi_idx.movie_id
+AND it.id = mi_idx.info_type_id;`)
+	if len(q.Tables) != 5 {
+		t.Fatalf("tables = %d", len(q.Tables))
+	}
+	if len(q.Joins) != 5 {
+		t.Fatalf("joins = %d", len(q.Joins))
+	}
+	if len(q.Aggregates) != 3 || q.Aggregates[0].Func != query.Min {
+		t.Fatalf("aggregates = %v", q.Aggregates)
+	}
+	// mc's filter is NOT LIKE AND (LIKE OR LIKE).
+	mcf, ok := q.Filters["mc"]
+	if !ok {
+		t.Fatal("mc filter missing")
+	}
+	if !strings.Contains(mcf.String(), "OR") {
+		t.Fatalf("mc filter lost the OR group: %s", mcf)
+	}
+	if _, ok := q.Filters["ct"]; !ok {
+		t.Fatal("ct filter missing")
+	}
+}
+
+func TestParseListing2(t *testing.T) {
+	// Paper Listing 2.
+	q := mustParse(t, `
+SELECT * FROM movie_keyword AS movie_keyword, movie_link AS movie_link
+WHERE movie_link.id <= 10000 AND
+      movie_keyword.movie_id = movie_link.movie_id;`)
+	if len(q.Output) != 0 || len(q.Aggregates) != 0 {
+		t.Fatal("SELECT * must have no explicit outputs")
+	}
+	if len(q.Joins) != 1 {
+		t.Fatalf("joins = %d", len(q.Joins))
+	}
+	f := q.Filters["movie_link"]
+	cmp, ok := f.(expr.Cmp)
+	if !ok || cmp.Op != expr.Le || cmp.Val.Int != 10000 {
+		t.Fatalf("filter = %v", f)
+	}
+}
+
+func TestParseFeatures(t *testing.T) {
+	q := mustParse(t, `
+SELECT COUNT(*) AS n, c.region, SUM(o.amount) AS total
+FROM customers AS c, orders AS o
+WHERE o.customer_id = c.id
+  AND c.region IN ('north', 'south')
+  AND o.amount BETWEEN 10 AND 500
+  AND o.note IS NOT NULL
+  AND o.flags <> 3
+GROUP BY c.region`)
+	if len(q.Aggregates) != 2 {
+		t.Fatalf("aggregates = %v", q.Aggregates)
+	}
+	if q.Aggregates[0].As != "n" || !q.Aggregates[0].Star {
+		t.Fatalf("COUNT(*) AS n parsed as %+v", q.Aggregates[0])
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Col != "region" {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+	of := q.Filters["o"].String()
+	for _, frag := range []string{"BETWEEN 10 AND 500", "IS NOT NULL", "<> 3"} {
+		if !strings.Contains(of, frag) {
+			t.Fatalf("o filter %q missing %q", of, frag)
+		}
+	}
+	cf := q.Filters["c"]
+	if _, ok := cf.(expr.In); !ok {
+		t.Fatalf("c filter = %T", cf)
+	}
+}
+
+func TestParseNegativeNumbersAndEscapes(t *testing.T) {
+	q := mustParse(t, `SELECT MIN(t.x) FROM tab AS t WHERE t.x > -5 AND t.s = 'it''s'`)
+	f := q.Filters["t"].String()
+	if !strings.Contains(f, "-5") || !strings.Contains(f, "it's") {
+		t.Fatalf("filter = %q", f)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t AS a WHERE",
+		"SELECT * FROM t AS a WHERE a.x",
+		"SELECT * FROM t AS a WHERE a.x ~ 3",
+		"SELECT * FROM t AS a WHERE a.x LIKE 5",
+		"SELECT * FROM t AS a WHERE a.x < b.y",   // non-equality join
+		"SELECT * FROM t AS a WHERE (a.x = b.y)", // join inside OR group
+		"SELECT * FROM t AS a WHERE (a.x = 1 OR b.y = 2)",
+		"SELECT SUM(*) FROM t AS a",
+		"SELECT MIN(t.x FROM t AS a",
+		"SELECT * FROM t AS a GROUP BY",
+		"SELECT * FROM t AS a; extra",
+		"SELECT * FROM t AS a WHERE a.x = 'unterminated",
+		"SELECT * FROM t AS a WHERE a.x BETWEEN 'a' AND 3",
+		"SELECT * FROM t AS a WHERE a.x IN (",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	q := mustParse(t, "select min(a.x) from t as a where a.x is null group by a.y")
+	if len(q.Aggregates) != 1 || len(q.GroupBy) != 1 {
+		t.Fatal("lower-case keywords not recognized")
+	}
+}
+
+var (
+	dsOnce sync.Once
+	ds     *job.Dataset
+	dsErr  error
+)
+
+func TestParsedQueryExecutes(t *testing.T) {
+	dsOnce.Do(func() { ds, dsErr = job.Load(0.004, hw.Cosmos()) })
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	q := mustParse(t, `
+SELECT MIN(t.title)
+FROM title AS t, movie_keyword AS mk, keyword AS k
+WHERE k.id = mk.keyword_id AND t.id = mk.movie_id
+  AND k.keyword = 'sequel' AND t.production_year > 1990`)
+	if err := q.Validate(ds.Cat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsedEquivalentToBuiltinQuery(t *testing.T) {
+	dsOnce.Do(func() { ds, dsErr = job.Load(0.004, hw.Cosmos()) })
+	if dsErr != nil {
+		t.Fatal(dsErr)
+	}
+	// The SQL form of 17b must validate and carry the same structure as the
+	// programmatic definition.
+	parsed := mustParse(t, `
+SELECT MIN(n.name), MIN(n.name)
+FROM cast_info AS ci, company_name AS cn, keyword AS k,
+     movie_companies AS mc, movie_keyword AS mk, name AS n, title AS t
+WHERE cn.country_code = '[us]'
+  AND k.keyword = 'character-name-in-title'
+  AND n.name LIKE 'Z%'
+  AND n.id = ci.person_id AND ci.movie_id = t.id AND t.id = mk.movie_id
+  AND mk.keyword_id = k.id AND t.id = mc.movie_id AND mc.company_id = cn.id
+  AND ci.movie_id = mc.movie_id AND ci.movie_id = mk.movie_id
+  AND mc.movie_id = mk.movie_id;`)
+	if err := parsed.Validate(ds.Cat); err != nil {
+		t.Fatal(err)
+	}
+	builtin := job.QueryByName("17b")
+	if len(parsed.Tables) != len(builtin.Tables) || len(parsed.Joins) != len(builtin.Joins) {
+		t.Fatalf("structure mismatch: %d/%d tables, %d/%d joins",
+			len(parsed.Tables), len(builtin.Tables), len(parsed.Joins), len(builtin.Joins))
+	}
+}
