@@ -1,0 +1,29 @@
+# Tier-1 gate (see ROADMAP.md): build, vet, tests — `make race` adds the race
+# detector, which the concurrent scheduler's stress tests rely on.
+
+GO ?= go
+
+.PHONY: all build vet test race bench serve
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Virtual-time benchmarks (one pass each; wall ns/op only measures the
+# simulator). HYBRIDNDP_SCALE overrides the dataset scale.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# The serving sweep: policy × concurrency throughput table.
+serve:
+	$(GO) run ./cmd/hybridserve -sweep

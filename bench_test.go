@@ -10,6 +10,7 @@
 package hybridndp_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/job"
+	"hybridndp/internal/sched"
 )
 
 var (
@@ -425,6 +427,58 @@ func BenchmarkMultiDevice(b *testing.B) {
 						}
 					}
 					report(b, "slowest-device", slowest)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerThroughput sweeps the concurrent scheduler's worker count
+// over the JOB mix and reports the virtual throughput of the adaptive policy
+// against the always-host and always-NDP baselines (the serving experiment of
+// DESIGN.md "Concurrent serving"). The baselines run once: always-NDP
+// serializes on the command slot and always-host on the CPU lanes, so their
+// virtual throughput is independent of the worker count.
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	h := benchHarness(b)
+	// ×2 so the mix contains repeat submissions: the adaptive policy offloads
+	// on measured evidence, which a one-shot workload never produces.
+	mix := harness.ServingMix(2)
+	serve := func(b *testing.B, pol sched.Policy, conc int) float64 {
+		cfg := sched.DefaultConfig()
+		cfg.Policy = pol
+		cfg.Workers = conc
+		cfg.QueueDepth = 2 * len(mix)
+		s := sched.New(h.Opt, h.Exec, h.DS.Model, cfg)
+		for j, q := range mix {
+			if _, err := s.Submit(context.Background(), q, sched.Priority(j%3)); err != nil {
+				s.Close()
+				b.Fatal(err)
+			}
+		}
+		s.Close()
+		st := s.Stats()
+		if st.Errors > 0 {
+			b.Fatalf("%v/%d: %d queries failed", pol, conc, st.Errors)
+		}
+		return st.Throughput()
+	}
+	for _, base := range []sched.Policy{sched.ForceHost, sched.ForceNDP} {
+		b.Run("policy="+base.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tp := serve(b, base, 16)
+				if i == 0 {
+					b.ReportMetric(tp, "qps")
+				}
+			}
+		})
+	}
+	for _, conc := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("policy=adaptive/conc=%d", conc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tp := serve(b, sched.Adaptive, conc)
+				if i == 0 {
+					b.ReportMetric(tp, "qps")
 				}
 			}
 		})

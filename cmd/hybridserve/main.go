@@ -1,0 +1,101 @@
+// Command hybridserve replays a JOB query mix through the concurrent query
+// scheduler and prints the serving statistics: admission/degradation counts,
+// queue waits per priority class, pool busy times and the virtual throughput.
+//
+// Usage:
+//
+//	hybridserve                              # adaptive policy, JOB mix ×3
+//	hybridserve -policy host                 # always-host baseline
+//	hybridserve -policy ndp -workers 4       # always-NDP, 4 workers
+//	hybridserve -sweep                       # policy × concurrency table
+//	hybridserve -devices 4 -repeat 5         # bigger fleet, longer mix
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hybridndp/internal/harness"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/sched"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.01, "JOB dataset scale (1.0 ≈ 3.9M rows)")
+		policy  = flag.String("policy", "adaptive", "adaptive | host | ndp")
+		workers = flag.Int("workers", 16, "worker pool size (concurrent queries)")
+		queue   = flag.Int("queue", 0, "admission queue depth (0 = sized to the mix)")
+		devices = flag.Int("devices", 1, "smart-storage fleet size")
+		repeat  = flag.Int("repeat", 3, "times the JOB suite is replayed")
+		timeout = flag.Duration("timeout", 0, "per-query admission timeout (0 = none)")
+		sweep   = flag.Bool("sweep", false, "run the policy × concurrency sweep instead")
+	)
+	flag.Parse()
+
+	var pol sched.Policy
+	switch strings.ToLower(*policy) {
+	case "adaptive":
+		pol = sched.Adaptive
+	case "host":
+		pol = sched.ForceHost
+	case "ndp":
+		pol = sched.ForceNDP
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q (adaptive | host | ndp)\n", *policy)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	fmt.Printf("loading JOB at scale %g ...\n", *scale)
+	h, err := harness.New(*scale, hw.Cosmos())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *sweep {
+		if _, err := h.ServingSweep(os.Stdout, nil); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	mix := harness.ServingMix(*repeat)
+	cfg := sched.DefaultConfig()
+	cfg.Policy = pol
+	cfg.Workers = *workers
+	cfg.Devices = *devices
+	cfg.QueryTimeout = *timeout
+	cfg.QueueDepth = *queue
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * len(mix)
+	}
+
+	fmt.Printf("serving %d queries (%s policy, %d workers, %d device(s)) ...\n",
+		len(mix), pol, cfg.Workers, cfg.Devices)
+	s := sched.New(h.Opt, h.Exec, h.DS.Model, cfg)
+	for i, q := range mix {
+		if _, err := s.Submit(context.Background(), q, sched.Priority(i%3)); err != nil {
+			s.Close()
+			fatal(fmt.Errorf("submit %s: %w", q.Name, err))
+		}
+	}
+	s.Close()
+	st := s.Stats()
+	fmt.Println()
+	fmt.Print(st)
+	fmt.Printf("\nwall time %v\n", time.Since(start).Round(time.Millisecond))
+	if st.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hybridserve:", err)
+	os.Exit(1)
+}

@@ -17,7 +17,8 @@
 package hybridndp
 
 import (
-	"fmt"
+	"context"
+	"sync"
 
 	"hybridndp/internal/coop"
 	"hybridndp/internal/core"
@@ -28,6 +29,7 @@ import (
 	"hybridndp/internal/lsm"
 	"hybridndp/internal/optimizer"
 	"hybridndp/internal/query"
+	"hybridndp/internal/sched"
 	"hybridndp/internal/sql"
 	"hybridndp/internal/table"
 )
@@ -46,6 +48,9 @@ type System struct {
 
 	// JOB is set when the system was opened with OpenJOB.
 	JOB *job.Dataset
+
+	servingMu sync.Mutex
+	serving   *sched.Scheduler
 }
 
 // New creates an empty system (no tables) over fresh simulated flash.
@@ -157,18 +162,66 @@ func (s *System) RunMulti(q *query.Query, split, devices int) (*coop.MultiReport
 }
 
 // Splits enumerates every hybrid split strategy for the query's plan:
-// H0 (Split=-1) through H(nJoins).
+// H0 (Split=-1) through H(nJoins). Join-free (single-table) queries have
+// exactly one split point — H0, where the device scans and filters the base
+// table and the host finalizes — so they yield the H0-only strategy set
+// rather than an error; the concurrent scheduler classifies every query
+// through this enumeration.
 func (s *System) Splits(q *query.Query) ([]coop.Strategy, error) {
 	p, err := s.Optimizer.BuildPlan(q)
 	if err != nil {
 		return nil, err
-	}
-	if len(p.Steps) == 0 {
-		return nil, fmt.Errorf("hybridndp: %s has no joins to split", q.Name)
 	}
 	out := []coop.Strategy{{Kind: coop.Hybrid, Split: -1}}
 	for k := 1; k <= len(p.Steps); k++ {
 		out = append(out, coop.Strategy{Kind: coop.Hybrid, Split: k})
 	}
 	return out, nil
+}
+
+// Serve starts (or replaces) the system's concurrent query scheduler: a
+// bounded worker pool admitting many in-flight queries over the simulated
+// device fleet, with admission control against the device-resource ledger and
+// adaptive strategy degradation under load (see internal/sched). An existing
+// scheduler is drained first. The zero Config serves with sched.DefaultConfig.
+func (s *System) Serve(cfg sched.Config) *sched.Scheduler {
+	if cfg == (sched.Config{}) {
+		cfg = sched.DefaultConfig()
+	}
+	sc := sched.New(s.Optimizer, s.Executor, s.Model, cfg)
+	s.servingMu.Lock()
+	old := s.serving
+	s.serving = sc
+	s.servingMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return sc
+}
+
+// Submit enqueues a query on the serving scheduler (starting one with the
+// default configuration if Serve was never called), blocking under
+// backpressure while the admission queue is full.
+func (s *System) Submit(ctx context.Context, q *query.Query, prio sched.Priority) (*sched.Ticket, error) {
+	s.servingMu.Lock()
+	if s.serving == nil {
+		s.serving = sched.New(s.Optimizer, s.Executor, s.Model, sched.DefaultConfig())
+	}
+	sc := s.serving
+	s.servingMu.Unlock()
+	return sc.Submit(ctx, q, prio)
+}
+
+// StopServing drains the serving scheduler (all queued queries still run) and
+// returns its final stats. A system that never served returns zero stats.
+func (s *System) StopServing() sched.Stats {
+	s.servingMu.Lock()
+	sc := s.serving
+	s.serving = nil
+	s.servingMu.Unlock()
+	if sc == nil {
+		return sched.Stats{}
+	}
+	sc.Close()
+	return sc.Stats()
 }

@@ -203,6 +203,51 @@ func TestRunMultiThroughFacade(t *testing.T) {
 	}
 }
 
+// TestSingleTableSplits is the join-free regression: Splits must classify a
+// single-table query as the H0-only strategy set (not an error), and the H0
+// execution — device-side scan+filter, host-side finalize — must agree with
+// the host-native result.
+func TestSingleTableSplits(t *testing.T) {
+	s := testSystem(t)
+	q, err := s.Query(`SELECT MIN(t.title) FROM title AS t WHERE t.production_year > 2000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	splits, err := s.Splits(q)
+	if err != nil {
+		t.Fatalf("Splits on a join-free query: %v", err)
+	}
+	if len(splits) != 1 || splits[0].Kind != coop.Hybrid || splits[0].Split != -1 {
+		t.Fatalf("want the H0-only set, got %v", splits)
+	}
+	ref, err := s.Run(q, coop.Strategy{Kind: coop.HostNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, err := s.Run(q, splits[0])
+	if err != nil {
+		t.Fatalf("single-table H0 execution: %v", err)
+	}
+	if h0.Result.RowCount != ref.Result.RowCount {
+		t.Fatalf("H0 rows %d != host %d", h0.Result.RowCount, ref.Result.RowCount)
+	}
+	if len(ref.Result.Rows) > 0 && len(h0.Result.Rows) > 0 &&
+		ref.Result.Rows[0][0].String() != h0.Result.Rows[0][0].String() {
+		t.Fatalf("H0 aggregate %v != host %v", h0.Result.Rows[0][0], ref.Result.Rows[0][0])
+	}
+	if h0.Batches == 0 {
+		t.Fatal("single-table H0 produced no shared-buffer batches")
+	}
+	// The decision path must classify it too (NDP vs host, never an error).
+	d, err := s.Decide(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecisionStrategy(d).Kind == coop.Hybrid && len(d.Plan.Steps) == 0 && DecisionStrategy(d).Split > 0 {
+		t.Fatalf("join-free decision chose an interior split: %v", d.StrategyLabel())
+	}
+}
+
 func TestEmptySystemUsable(t *testing.T) {
 	s, err := New(hw.Cosmos())
 	if err != nil {

@@ -276,9 +276,10 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 	if split > len(p.Steps) {
 		return nil, fmt.Errorf("coop: split H%d exceeds the plan's %d joins", split, len(p.Steps))
 	}
-	if len(p.Steps) == 0 {
-		return nil, fmt.Errorf("coop: hybrid execution requires at least 2 tables")
-	}
+	// Join-free (single-table) plans execute as H0: the device scans and
+	// filters the base table, ships survivor chunks through the shared
+	// buffer, and the host finalizes (projection / aggregation). Interior
+	// splits are rejected above since len(p.Steps) == 0.
 	if split < 0 {
 		// H0 joins device-shipped leaf rows on the host: every step becomes
 		// a buffered join over the seeded inner sides; index joins against

@@ -360,3 +360,53 @@ func TestChunksOverride(t *testing.T) {
 		t.Fatal("chunking changed the result")
 	}
 }
+
+// TestMultiReportAggregationInvariants pins the aggregation contract of
+// MultiReport across fleet sizes: the per-device vectors match the fleet
+// size, no device's busy time exceeds the end-to-end elapsed time (devices
+// run within the cooperative window), and the union of partitioned results
+// equals the single-device result.
+func TestMultiReportAggregationInvariants(t *testing.T) {
+	opt, ex := env(t)
+	p, err := opt.BuildPlan(job.QueryByName("17b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ex.Run(p, coop.Strategy{Kind: coop.Hybrid, Split: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 8} {
+		mr, err := ex.RunHybridMulti(p, coop.Strategy{Kind: coop.Hybrid, Split: 1}, n)
+		if err != nil {
+			t.Fatalf("x%d: %v", n, err)
+		}
+		if mr.Devices != n {
+			t.Fatalf("x%d: Devices=%d", n, mr.Devices)
+		}
+		if len(mr.DeviceElapsed) != n || len(mr.DeviceAccounts) != n {
+			t.Fatalf("x%d: per-device vectors sized %d/%d",
+				n, len(mr.DeviceElapsed), len(mr.DeviceAccounts))
+		}
+		for d, el := range mr.DeviceElapsed {
+			if el <= 0 {
+				t.Fatalf("x%d: device %d reports no busy time", n, d)
+			}
+			if el > mr.Elapsed {
+				t.Fatalf("x%d: device %d busy %v exceeds elapsed %v", n, d, el, mr.Elapsed)
+			}
+			if len(mr.DeviceAccounts[d]) == 0 {
+				t.Fatalf("x%d: device %d has an empty account", n, d)
+			}
+		}
+		if mr.Result.RowCount != ref.Result.RowCount {
+			t.Fatalf("x%d: %d rows, single-device %d", n, mr.Result.RowCount, ref.Result.RowCount)
+		}
+		if mr.Batches < n {
+			t.Fatalf("x%d: only %d batches; every device must ship at least one", n, mr.Batches)
+		}
+		if mr.TransferredBytes <= 0 {
+			t.Fatalf("x%d: no bytes transferred", n)
+		}
+	}
+}

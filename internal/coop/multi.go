@@ -41,7 +41,7 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 	if split == 0 {
 		split = -1
 	}
-	if split > len(p.Steps) || len(p.Steps) == 0 {
+	if split > len(p.Steps) {
 		return nil, fmt.Errorf("coop: invalid split H%d for a %d-join plan", split, len(p.Steps))
 	}
 	if split < 0 {

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"hybridndp/internal/coop"
+	"hybridndp/internal/cost"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/optimizer"
@@ -136,7 +137,8 @@ const (
 )
 
 // applyFeedback nudges the cost model's row-evaluation cost toward the
-// observed estimate error.
+// observed estimate error. The update goes through the estimator's atomic
+// parameter hook so concurrent runs neither race nor lose adjustments.
 func (c *Controller) applyFeedback(rec RunRecord) {
 	ratio := rec.Ratio()
 	gain := (ratio - 1) * feedbackSmooth
@@ -146,12 +148,13 @@ func (c *Controller) applyFeedback(rec RunRecord) {
 	if gain < -feedbackGainCap {
 		gain = -feedbackGainCap
 	}
-	p := c.Opt.Est.Params
-	p.UsrRec *= 1 + gain
-	if p.UsrRec < 1 {
-		p.UsrRec = 1
-	}
-	c.Opt.Est.Params = p
+	c.Opt.Est.UpdateParams(func(p cost.Params) cost.Params {
+		p.UsrRec *= 1 + gain
+		if p.UsrRec < 1 {
+			p.UsrRec = 1
+		}
+		return p
+	})
 }
 
 // Runs returns a copy of the recorded run log.

@@ -88,13 +88,13 @@ func TestEmptyQuality(t *testing.T) {
 func TestFeedbackNudgesUsrRec(t *testing.T) {
 	c := controller(t)
 	c.Feedback = true
-	before := c.Opt.Est.Params.UsrRec
+	before := c.Opt.Est.Params().UsrRec
 	for i := 0; i < 3; i++ {
 		if _, _, err := c.Run(job.QueryByName("8c")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	after := c.Opt.Est.Params.UsrRec
+	after := c.Opt.Est.Params().UsrRec
 	if after == before {
 		t.Fatal("feedback never adjusted usr_rec")
 	}
@@ -123,5 +123,41 @@ func TestFeedbackImprovesEstimateRatio(t *testing.T) {
 	}
 	if math.Abs(last-1) > math.Abs(first-1)+0.05 {
 		t.Fatalf("feedback made estimates worse: first ratio %.2f, last %.2f", first, last)
+	}
+}
+
+// TestControllerConcurrentRunRace hammers one controller from several
+// goroutines with the calibration feedback loop enabled — under -race this
+// verifies that Controller.Run, the shared cost-model parameters and the
+// executor's run path are safe for the concurrent scheduler to drive.
+func TestControllerConcurrentRunRace(t *testing.T) {
+	c := controller(t)
+	c.Feedback = true
+	names := []string{"1a", "6f", "8c", "17b", "32b"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	const goroutines, perG = 4, 5
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, _, err := c.Run(job.QueryByName(names[(g+i)%len(names)])); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := len(c.Runs()); got != goroutines*perG {
+		t.Fatalf("recorded %d runs, want %d", got, goroutines*perG)
+	}
+	if q := c.Quality(); q.Runs != goroutines*perG {
+		t.Fatalf("quality over %d runs, want %d", q.Runs, goroutines*perG)
 	}
 }

@@ -9,6 +9,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hybridndp/internal/exec"
 	"hybridndp/internal/hw"
@@ -42,15 +43,20 @@ type Params struct {
 // DefaultParams mirrors the engine's calibration.
 func DefaultParams() Params { return Params{UsrRec: 40} }
 
-// Estimator prices plans from statistics and the hardware model.
+// Estimator prices plans from statistics and the hardware model. Estimators
+// are safe for concurrent use: the mutable parameter set (which the
+// controller's calibration feedback adjusts between runs) is guarded by a
+// mutex and accessed through Params/SetParams/UpdateParams.
 type Estimator struct {
-	Cat    *table.Catalog
-	Model  hw.Model
-	Params Params
+	Cat   *table.Catalog
+	Model hw.Model
 
 	// TargetCPUOnly drops the memory term from the split target (eq. 12),
 	// for the split-target ablation benchmark.
 	TargetCPUOnly bool
+
+	mu     sync.RWMutex
+	params Params
 
 	hostR hw.Rates
 	devR  hw.Rates
@@ -58,7 +64,36 @@ type Estimator struct {
 
 // NewEstimator builds an estimator over the catalog and hardware model.
 func NewEstimator(cat *table.Catalog, m hw.Model, p Params) *Estimator {
-	return &Estimator{Cat: cat, Model: m, Params: p, hostR: hw.HostRates(m), devR: hw.DeviceRates(m)}
+	return &Estimator{Cat: cat, Model: m, params: p, hostR: hw.HostRates(m), devR: hw.DeviceRates(m)}
+}
+
+// Params returns the current parameter set.
+func (e *Estimator) Params() Params {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.params
+}
+
+// SetParams replaces the parameter set.
+func (e *Estimator) SetParams(p Params) {
+	e.mu.Lock()
+	e.params = p
+	e.mu.Unlock()
+}
+
+// UpdateParams applies f to the parameter set atomically, so concurrent
+// calibration-feedback updates do not lose each other's adjustments.
+func (e *Estimator) UpdateParams(f func(Params) Params) {
+	e.mu.Lock()
+	e.params = f(e.params)
+	e.mu.Unlock()
+}
+
+// usrRec reads the row-evaluation-cost parameter under the lock.
+func (e *Estimator) usrRec() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.params.UsrRec
 }
 
 func (e *Estimator) rates(s Side) hw.Rates {
@@ -116,7 +151,7 @@ func (e *Estimator) AccessCost(ap exec.AccessPath, s Side) (NodeCost, error) {
 		pages := float64(st.TotalBytes())/float64(lsm.TargetBlockBytes) + 1
 		flashLookups := math.Min(matched, pages)
 		nc.Scan = flashLookups * pageCost * r.StackOverhead
-		nc.CPU = matched * (e.Params.UsrRec*e.cpuFactor(s) + float64(r.SeekNsPerLevel)*12)
+		nc.CPU = matched * (e.usrRec()*e.cpuFactor(s) + float64(r.SeekNsPerLevel)*12)
 	} else {
 		bytes := rows * float64(st.RowBytes)
 		pages := bytes / float64(r.FlashPageBytes)
@@ -133,7 +168,7 @@ func (e *Estimator) AccessCost(ap exec.AccessPath, s Side) (NodeCost, error) {
 		// eq. 3: tbl_ren · usr_rec · node_pbn · calc_pcf — per-record
 		// evaluation scaled by the projection cost impact factor.
 		pcf := e.cpuFactor(s) * (0.5 + 0.5*pb/float64(st.RowBytes))
-		nc.CPU = rows*e.Params.UsrRec*terms*e.cpuFactor(s) + matched*pb*r.MemcpyNsPerByte*1.0*pcf/e.cpuFactor(s)
+		nc.CPU = rows*e.usrRec()*terms*e.cpuFactor(s) + matched*pb*r.MemcpyNsPerByte*1.0*pcf/e.cpuFactor(s)
 	}
 	return nc, nil
 }
@@ -186,7 +221,7 @@ func (e *Estimator) StepCost(step exec.JoinStep, leftRows float64, s Side) (Node
 		nc.Alias = step.Right.Ref.Alias
 		nc.Scan = flashLookups * pageCost * r.StackOverhead
 		nc.CPU = leftRows*(float64(r.HashProbeNsRec)+float64(r.SeekNsPerLevel)*12*seeks) +
-			outRows*(e.Params.UsrRec*e.cpuFactor(s)+float64(r.SeekNsPerLevel)*12)
+			outRows*(e.usrRec()*e.cpuFactor(s)+float64(r.SeekNsPerLevel)*12)
 	default: // BNL / NLJ / GHJ price as buffered join
 		acc, err := e.AccessCost(step.Right, s)
 		if err != nil {
@@ -283,6 +318,16 @@ type SplitCosts struct {
 	HybridEst []float64
 	// Rows[k] is the estimated cardinality entering the host at split Hk.
 	Rows []float64
+	// DevPart[k], HostPart[k] and Trans[k] decompose HybridEst[k] =
+	// max(DevPart[k], HostPart[k]) + Trans[k]. The concurrent scheduler uses
+	// them to re-cost splits under load: device backlog inflates DevPart,
+	// host backlog inflates HostPart, and the cheapest loaded alternative
+	// wins (c_target under contention, DESIGN.md "Concurrent serving").
+	// Note DevPart[0] prices the full H0 leaf offload, which is more work
+	// than the cumulative curve point CNode[0].
+	DevPart  []float64
+	HostPart []float64
+	Trans    []float64
 
 	// BestSplit is the Hk whose CNode is closest to CTarget (Fig. 5 step 3).
 	BestSplit int
@@ -375,6 +420,9 @@ func (e *Estimator) PlanCosts(p *exec.Plan) (*SplitCosts, error) {
 	sc.CNode = make([]float64, n)
 	sc.HybridEst = make([]float64, n)
 	sc.Rows = make([]float64, n)
+	sc.DevPart = make([]float64, n)
+	sc.HostPart = make([]float64, n)
+	sc.Trans = make([]float64, n)
 
 	// H0 device part: all leaf selections at device rates.
 	var h0dev float64
@@ -418,6 +466,9 @@ func (e *Estimator) PlanCosts(p *exec.Plan) (*SplitCosts, error) {
 			rows = out
 		}
 		hostJoin += groupCost(rows, Host)
+		sc.DevPart[0] = h0dev
+		sc.HostPart[0] = hostJoin
+		sc.Trans[0] = leafTrans
 		sc.HybridEst[0] = math.Max(h0dev, hostJoin) + leafTrans
 	}
 
@@ -442,6 +493,9 @@ func (e *Estimator) PlanCosts(p *exec.Plan) (*SplitCosts, error) {
 			rows = out
 		}
 		hostPart += groupCost(rows, Host)
+		sc.DevPart[k] = devPart
+		sc.HostPart[k] = hostPart
+		sc.Trans[k] = trans
 		sc.HybridEst[k] = math.Max(devPart, hostPart) + trans
 	}
 

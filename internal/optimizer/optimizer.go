@@ -114,10 +114,14 @@ func (o *Optimizer) BuildPlan(q *query.Query) (*exec.Plan, error) {
 		return plan, nil
 	}
 
-	// Driving table: the cheapest estimated access (host side).
+	// Driving table: the cheapest estimated access (host side). Iterate in
+	// query declaration order, not map order, so tied scores break the same
+	// way on every run — plans (and therefore simulated times) must be
+	// deterministic for a given query.
 	var drivingAlias string
 	best := math.Inf(1)
-	for alias, ap := range paths {
+	for _, ref := range q.Tables {
+		ap := paths[ref.Alias]
 		nc, err := o.Est.AccessCost(ap, cost.Host)
 		if err != nil {
 			return nil, err
@@ -126,7 +130,7 @@ func (o *Optimizer) BuildPlan(q *query.Query) (*exec.Plan, error) {
 		score := nc.Total() + ap.EstRows*100
 		if score < best {
 			best = score
-			drivingAlias = alias
+			drivingAlias = ref.Alias
 		}
 	}
 	plan.Driving = paths[drivingAlias]
@@ -147,7 +151,11 @@ func (o *Optimizer) BuildPlan(q *query.Query) (*exec.Plan, error) {
 			score float64
 		}
 		var bestC *cand
-		for alias := range remaining {
+		for _, ref := range q.Tables { // declaration order: deterministic ties
+			alias := ref.Alias
+			if !remaining[alias] {
+				continue
+			}
 			conds := o.boundConds(q, alias, joined)
 			if len(conds) == 0 {
 				continue

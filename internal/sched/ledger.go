@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"hybridndp/internal/hw"
+)
+
+// Claim is the device-resource footprint of one admitted query: what the
+// admission controller reserves on a device before the NDP command is issued
+// and returns when the query completes.
+type Claim struct {
+	// MemBytes is the device DRAM reservation of the offloaded partial plan
+	// (device.PlanMemory: selection/join buffers within the NDP budget).
+	MemBytes int64
+	// BufSlots is the number of shared result-buffer slots held while the
+	// command is in flight (one: the pipeline drains slot by slot, but a
+	// command must own at least one slot to make progress).
+	BufSlots int
+	// EstDeviceNs is the cost model's estimate of the device-side work in
+	// virtual ns. It feeds the assigned-work counter that the degradation
+	// policy consults.
+	EstDeviceNs float64
+}
+
+// devState is one device's free resources plus the cumulative virtual work
+// ever assigned to it. Each in-flight NDP command additionally occupies one
+// of the device's command slots — the COSMOS+ board has a single dedicated
+// execution core, so the default is one command at a time per device.
+//
+// assigned is deliberately monotone: execution is a virtual-time simulation,
+// so in-flight claims come and go at wall-clock speed and carry no usable
+// load signal. The cumulative counters instead implement greedy
+// list-scheduling — a pool is attractive while its assigned work (per lane)
+// trails the other pool's, which is exactly the balance that minimizes the
+// virtual makespan.
+type devState struct {
+	cmdFree  int
+	memFree  int64
+	slotFree int
+	assigned float64
+	inflight float64 // estimated work of currently admitted commands
+}
+
+// Ledger tracks the scarce resources of a smart-storage fleet: per device the
+// NDP command slots (execution cores), the DRAM budget left for selection and
+// join buffers (hw_MSS/hw_MSJ reservations within the ~400 MB NDP budget),
+// and the shared result-buffer slots. The host side is tracked only as
+// assigned virtual work — host memory is not the contended resource in the
+// paper's setting, host CPU lanes are.
+type Ledger struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	devs []devState
+
+	hostLanes    int
+	hostAssigned float64
+}
+
+// NewLedger sizes the ledger from the hardware model: devices × cmdSlots NDP
+// command slots, devices × DeviceNDPBudget bytes of reservable device memory,
+// devices × SharedSlots buffer slots, and hostLanes host CPU lanes.
+func NewLedger(m hw.Model, devices, cmdSlots, hostLanes int) *Ledger {
+	if devices < 1 {
+		devices = 1
+	}
+	if cmdSlots < 1 {
+		cmdSlots = 1
+	}
+	if hostLanes < 1 {
+		hostLanes = 1
+	}
+	l := &Ledger{hostLanes: hostLanes}
+	l.cond = sync.NewCond(&l.mu)
+	for i := 0; i < devices; i++ {
+		l.devs = append(l.devs, devState{
+			cmdFree:  cmdSlots,
+			memFree:  m.DeviceNDPBudget,
+			slotFree: m.SharedSlots,
+		})
+	}
+	return l
+}
+
+// tryAcquireLocked picks the least-loaded device that can hold the claim.
+func (l *Ledger) tryAcquireLocked(c Claim) (int, bool) {
+	best := -1
+	for i := range l.devs {
+		d := &l.devs[i]
+		if d.cmdFree < 1 || d.memFree < c.MemBytes || d.slotFree < c.BufSlots {
+			continue
+		}
+		if best < 0 || d.assigned < l.devs[best].assigned {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, false
+	}
+	d := &l.devs[best]
+	d.cmdFree--
+	d.memFree -= c.MemBytes
+	d.slotFree -= c.BufSlots
+	d.assigned += c.EstDeviceNs
+	d.inflight += c.EstDeviceNs
+	return best, true
+}
+
+// TryAcquire reserves the claim on the least-loaded device that fits it,
+// without blocking. It returns the device index, or ok=false when every
+// device is saturated — the admission controller's signal to degrade.
+func (l *Ledger) TryAcquire(c Claim) (int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tryAcquireLocked(c)
+}
+
+// Acquire blocks until the claim fits on some device or ctx is done. Used by
+// the forced-NDP policy, which serializes on the device instead of degrading.
+func (l *Ledger) Acquire(ctx context.Context, c Claim) (int, error) {
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
+		if dev, ok := l.tryAcquireLocked(c); ok {
+			return dev, nil
+		}
+		l.cond.Wait()
+	}
+}
+
+// Release returns a claim's resources. The assigned-work counter stays: it
+// is the monotone load signal, not an in-flight reservation.
+func (l *Ledger) Release(dev int, c Claim) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dev < 0 || dev >= len(l.devs) {
+		panic(fmt.Sprintf("sched: release on unknown device %d", dev))
+	}
+	d := &l.devs[dev]
+	d.cmdFree++
+	d.memFree += c.MemBytes
+	d.slotFree += c.BufSlots
+	d.inflight -= c.EstDeviceNs
+	if d.inflight < 0 {
+		d.inflight = 0
+	}
+	l.cond.Broadcast()
+}
+
+// AdjustDevice corrects a device's assigned-work counter once a command's
+// actual simulated busy time is known: the scheduler books the cost model's
+// estimate at admission and trues it up after the run, so systematic
+// estimation error cannot keep overloading (or starving) the device.
+func (l *Ledger) AdjustDevice(dev int, deltaNs float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dev < 0 || dev >= len(l.devs) {
+		return
+	}
+	d := &l.devs[dev]
+	d.assigned += deltaNs
+	if d.assigned < 0 {
+		d.assigned = 0
+	}
+}
+
+// AddHost books estimated host-side work (virtual ns) for a dispatched query.
+func (l *Ledger) AddHost(estNs float64) {
+	l.mu.Lock()
+	l.hostAssigned += estNs
+	l.mu.Unlock()
+}
+
+// AdjustHost corrects the host pool's assigned work with the measured busy
+// time (see AdjustDevice).
+func (l *Ledger) AdjustHost(deltaNs float64) {
+	l.mu.Lock()
+	l.hostAssigned += deltaNs
+	if l.hostAssigned < 0 {
+		l.hostAssigned = 0
+	}
+	l.mu.Unlock()
+}
+
+// AwaitChange blocks until some claim is released (or ctx is done), so a
+// caller that decided to hold out for a device slot can re-rank against
+// fresh counters instead of spinning.
+func (l *Ledger) AwaitChange(ctx context.Context) error {
+	stop := context.AfterFunc(ctx, func() {
+		l.mu.Lock()
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	})
+	defer stop()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	l.cond.Wait()
+	return ctx.Err()
+}
+
+// Load is a point-in-time view of the ledger used by the degradation policy
+// and surfaced in stats snapshots.
+type Load struct {
+	// DeviceAssignedNs is the cumulative virtual work assigned to the
+	// least-loaded device (the one a new command would land on).
+	DeviceAssignedNs float64
+	// DeviceInFlightNs is the estimated work of the commands currently
+	// admitted on that device — the capacity discount a saturated query
+	// would wait behind.
+	DeviceInFlightNs float64
+	// HostAssignedNs is the cumulative per-lane virtual work assigned to the
+	// host pool.
+	HostAssignedNs float64
+	// CmdFree / MemFree / SlotFree aggregate free resources over the fleet.
+	CmdFree  int
+	MemFree  int64
+	SlotFree int
+	Devices  int
+}
+
+// Snapshot captures the current load.
+func (l *Ledger) Snapshot() Load {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ld := Load{Devices: len(l.devs), HostAssignedNs: l.hostAssigned / float64(l.hostLanes)}
+	first := true
+	for i := range l.devs {
+		d := &l.devs[i]
+		ld.CmdFree += d.cmdFree
+		ld.MemFree += d.memFree
+		ld.SlotFree += d.slotFree
+		if first || d.assigned < ld.DeviceAssignedNs {
+			ld.DeviceAssignedNs = d.assigned
+			ld.DeviceInFlightNs = d.inflight
+			first = false
+		}
+	}
+	return ld
+}

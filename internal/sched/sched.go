@@ -1,0 +1,496 @@
+// Package sched is the concurrent query scheduler of the repro: it admits
+// many in-flight queries over a (simulated) smart-storage fleet, arbitrating
+// the device's scarce resources — NDP command slots, the DRAM reservation
+// budget, shared result-buffer slots — through a ledger with admission
+// control. Per query the optimizer's dynamic-offloading decision (paper §3)
+// is the starting point, but the scheduler re-costs the split under the
+// current load: device backlog inflates the device part of every hybrid
+// estimate, host backlog inflates the host part, and a saturated fleet
+// degrades queries to cheaper splits or host-native execution instead of
+// queueing them forever. This extends the paper's "which split Hk" decision
+// to "which split Hk given current device load" — the arbitration problem
+// production NDP deployments face (cf. Taurus, PAPERS.md).
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"hybridndp/internal/coop"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/optimizer"
+	"hybridndp/internal/query"
+	"hybridndp/internal/vclock"
+)
+
+// Priority classes order the admission queue. Within a class the queue is
+// FIFO; across classes higher priorities dispatch first, with aging so Batch
+// work is never starved (every fourth dispatch takes the oldest ticket
+// regardless of class).
+type Priority int
+
+// Priority classes, highest first.
+const (
+	High Priority = iota
+	Normal
+	Batch
+	numPriorities = 3
+)
+
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Normal:
+		return "normal"
+	case Batch:
+		return "batch"
+	}
+	return fmt.Sprintf("Priority(%d)", int(p))
+}
+
+// Config sizes the scheduler.
+type Config struct {
+	// Workers bounds the number of concurrently executing queries.
+	Workers int
+	// QueueDepth bounds the admission queue across all priority classes;
+	// Submit blocks (backpressure) while the queue is full.
+	QueueDepth int
+	// Devices is the smart-storage fleet size; each device contributes its
+	// own command slots, NDP memory budget and shared buffer slots.
+	Devices int
+	// DeviceCmdSlots is the number of concurrent NDP commands per device.
+	// The paper's COSMOS+ board dedicates one core to execution, so the
+	// default is 1.
+	DeviceCmdSlots int
+	// QueryTimeout bounds the wall time a ticket may spend in the admission
+	// queue before it is rejected (0 = unbounded).
+	QueryTimeout time.Duration
+	// Policy selects adaptive serving or one of the forced baselines.
+	Policy Policy
+}
+
+// DefaultConfig returns a serving configuration suitable for the Cosmos
+// model: a worker pool of 8, a bounded queue of 64, one device.
+func DefaultConfig() Config {
+	return Config{Workers: 8, QueueDepth: 64, Devices: 1, DeviceCmdSlots: 1, Policy: Adaptive}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1
+	}
+	if c.Devices < 1 {
+		c.Devices = 1
+	}
+	if c.DeviceCmdSlots < 1 {
+		c.DeviceCmdSlots = 1
+	}
+	return c
+}
+
+// Scheduler errors.
+var (
+	ErrClosed    = errors.New("sched: scheduler closed")
+	ErrQueueFull = errors.New("sched: admission queue full")
+)
+
+// Ticket is one submitted query's handle: it resolves to an Outcome once the
+// query ran (or was rejected).
+type Ticket struct {
+	query     *query.Query
+	priority  Priority
+	ctx       context.Context
+	submitted time.Time
+
+	done    chan struct{}
+	outcome Outcome
+}
+
+// Wait blocks until the outcome is available or ctx is done.
+func (t *Ticket) Wait(ctx context.Context) (*Outcome, error) {
+	select {
+	case <-t.done:
+		return &t.outcome, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Done returns a channel closed when the outcome is available.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Outcome returns the outcome after Done is closed (nil before).
+func (t *Ticket) Outcome() *Outcome {
+	select {
+	case <-t.done:
+		return &t.outcome
+	default:
+		return nil
+	}
+}
+
+// Scheduler is a running serving instance over one system.
+type Scheduler struct {
+	opt    *optimizer.Optimizer
+	exec   *coop.Executor
+	model  hw.Model
+	cfg    Config
+	ledger *Ledger
+	stats  *collector
+	calib  calibration
+	hist   history
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	queues   [numPriorities][]*Ticket
+	queued   int
+	popCount uint64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// New starts a scheduler with cfg.Workers worker goroutines over the given
+// planner and executor. Call Close to drain and stop it.
+func New(opt *optimizer.Optimizer, exec *coop.Executor, m hw.Model, cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	hostLanes := cfg.Workers
+	if m.HostCores > 0 && hostLanes > m.HostCores {
+		hostLanes = m.HostCores
+	}
+	devLanes := cfg.Devices * cfg.DeviceCmdSlots
+	s := &Scheduler{
+		opt:    opt,
+		exec:   exec,
+		model:  m,
+		cfg:    cfg,
+		ledger: NewLedger(m, cfg.Devices, cfg.DeviceCmdSlots, hostLanes),
+		stats:  newCollector(hostLanes, devLanes),
+		hist:   history{m: map[string]*qhist{}},
+	}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a query, blocking while the admission queue is full
+// (backpressure) until space frees up, ctx is done, or the scheduler closes.
+func (s *Scheduler) Submit(ctx context.Context, q *query.Query, prio Priority) (*Ticket, error) {
+	if prio < High || prio > Batch {
+		prio = Normal
+	}
+	t := &Ticket{query: q, priority: prio, ctx: ctx, submitted: time.Now(), done: make(chan struct{})}
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.notFull.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+	s.mu.Lock()
+	for s.queued >= s.cfg.QueueDepth && !s.closed && ctx.Err() == nil {
+		s.notFull.Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.enqueueLocked(t)
+	s.mu.Unlock()
+	s.stats.submitted()
+	return t, nil
+}
+
+// TrySubmit enqueues without blocking; ErrQueueFull signals backpressure.
+func (s *Scheduler) TrySubmit(q *query.Query, prio Priority) (*Ticket, error) {
+	if prio < High || prio > Batch {
+		prio = Normal
+	}
+	t := &Ticket{query: q, priority: prio, ctx: context.Background(), submitted: time.Now(), done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		s.mu.Unlock()
+		s.stats.rejected()
+		return nil, ErrQueueFull
+	}
+	s.enqueueLocked(t)
+	s.mu.Unlock()
+	s.stats.submitted()
+	return t, nil
+}
+
+func (s *Scheduler) enqueueLocked(t *Ticket) {
+	s.queues[t.priority] = append(s.queues[t.priority], t)
+	s.queued++
+	s.notEmpty.Signal()
+}
+
+// popLocked removes the next ticket: priority order normally, and every
+// fourth dispatch the oldest ticket across all classes (aging), so a steady
+// stream of high-priority work cannot starve the batch class.
+func (s *Scheduler) popLocked() *Ticket {
+	s.popCount++
+	pick := -1
+	if s.popCount%4 == 0 {
+		var oldest time.Time
+		for p := range s.queues {
+			if len(s.queues[p]) == 0 {
+				continue
+			}
+			if head := s.queues[p][0]; pick < 0 || head.submitted.Before(oldest) {
+				pick, oldest = p, head.submitted
+			}
+		}
+	} else {
+		for p := range s.queues {
+			if len(s.queues[p]) > 0 {
+				pick = p
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return nil
+	}
+	t := s.queues[pick][0]
+	s.queues[pick] = s.queues[pick][1:]
+	s.queued--
+	return t
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.queued == 0 && !s.closed {
+			s.notEmpty.Wait()
+		}
+		if s.queued == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		t := s.popLocked()
+		s.notFull.Signal()
+		s.mu.Unlock()
+		s.process(t)
+	}
+}
+
+// Close stops intake and drains: queued tickets still execute, then the
+// workers exit. Blocked Submit calls return ErrClosed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.notEmpty.Broadcast()
+	s.notFull.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats snapshots the serving counters.
+func (s *Scheduler) Stats() Stats { return s.stats.snapshot() }
+
+// Load snapshots the resource ledger.
+func (s *Scheduler) Load() Load { return s.ledger.Snapshot() }
+
+// finish resolves a ticket.
+func (t *Ticket) finish(o Outcome) {
+	t.outcome = o
+	close(t.done)
+}
+
+// process runs one ticket through decide → degrade → execute → record.
+func (s *Scheduler) process(t *Ticket) {
+	wait := time.Since(t.submitted)
+	base := Outcome{Query: t.query.Name, Priority: t.priority, QueueWait: wait, Device: -1}
+
+	// Admission timeout / cancelled context: reject instead of executing
+	// work nobody is waiting for.
+	if err := t.ctx.Err(); err != nil {
+		s.stats.rejected()
+		base.Err = fmt.Errorf("sched: rejected in queue: %w", err)
+		t.finish(base)
+		return
+	}
+	if s.cfg.QueryTimeout > 0 && wait > s.cfg.QueryTimeout {
+		s.stats.rejected()
+		base.Err = fmt.Errorf("sched: queue wait %v exceeded timeout %v", wait, s.cfg.QueryTimeout)
+		t.finish(base)
+		return
+	}
+
+	d, err := s.opt.Decide(t.query)
+	if err != nil {
+		base.Err = err
+		s.stats.record(&base, 0, 0)
+		t.finish(base)
+		return
+	}
+	unloaded := strategyOf(d)
+	base.Unloaded = unloaded.String()
+
+	cand, dev, err := s.place(t.ctx, d)
+	if err != nil {
+		base.Err = err
+		s.stats.record(&base, 0, 0)
+		t.finish(base)
+		return
+	}
+	base.Chosen = cand.strat.String()
+	base.Degraded = cand.strat != unloaded
+	base.Device = dev
+
+	s.ledger.AddHost(cand.hostNs)
+	rep, err := s.exec.Run(d.Plan, cand.strat)
+	if dev >= 0 {
+		if rep != nil {
+			// True up the estimate with the measured device busy time, so
+			// estimation error cannot keep overloading the device pool, and
+			// feed the actual/estimate ratio into the calibration loop.
+			actual := float64(deviceBusy(rep))
+			s.ledger.AdjustDevice(dev, actual-cand.claim.EstDeviceNs)
+			s.calib.observeDevice(actual, cand.rawDevNs)
+		}
+		s.ledger.Release(dev, cand.claim)
+	}
+	if err != nil && cand.strat.Kind != coop.HostNative {
+		// Device-side execution failure: the paper's preconditions mandate
+		// falling back to the traditional host-only path.
+		base.Chosen = coop.Strategy{Kind: coop.HostNative}.String()
+		base.Degraded = true
+		rep, err = s.exec.Run(d.Plan, coop.Strategy{Kind: coop.HostNative})
+	}
+	if err != nil {
+		base.Err = err
+		s.stats.record(&base, 0, 0)
+		t.finish(base)
+		return
+	}
+	s.ledger.AdjustHost(float64(hostBusy(rep)) - cand.hostNs)
+	// Remember this query's per-pool actual/estimate ratios for repeats.
+	s.hist.observe(queryKey(d.Plan),
+		float64(deviceBusy(rep)), cand.rawDevNs,
+		float64(hostBusy(rep)), cand.rawHostNs)
+	base.Elapsed = rep.Elapsed
+	base.Report = rep
+	s.stats.record(&base, hostBusy(rep), deviceBusy(rep))
+	t.finish(base)
+}
+
+// place chooses the strategy under the configured policy and acquires the
+// device claim. The returned device index is -1 for host-native execution.
+func (s *Scheduler) place(ctx context.Context, d *optimizer.Decision) (candidate, int, error) {
+	switch s.cfg.Policy {
+	case ForceHost:
+		return candidate{strat: coop.Strategy{Kind: coop.HostNative}, hostNs: d.Costs.HostTotal, rawHostNs: d.Costs.HostTotal}, -1, nil
+	case ForceNDP:
+		cands := s.candidates(d)
+		// The last NDP-kind candidate is full NDP; fall back to host when
+		// the plan never fits the device.
+		var ndp *candidate
+		for i := range cands {
+			if cands[i].strat.Kind == coop.NDPOnly {
+				ndp = &cands[i]
+			}
+		}
+		if ndp == nil {
+			return candidate{strat: coop.Strategy{Kind: coop.HostNative}, hostNs: d.Costs.HostTotal, rawHostNs: d.Costs.HostTotal}, -1, nil
+		}
+		dev, err := s.ledger.Acquire(ctx, ndp.claim)
+		if err != nil {
+			return candidate{}, -1, fmt.Errorf("sched: forced-NDP admission: %w", err)
+		}
+		return *ndp, dev, nil
+	}
+	// Adaptive: rank all alternatives under the current load, then walk the
+	// ranking; device-bound choices must clear admission control. When a
+	// device candidate is blocked on admission, the loaded estimate is
+	// re-costed with the device's capacity discounted — the in-flight work
+	// it would queue behind. If it still beats the host alternative, the
+	// query holds out for a slot and re-ranks on the next release; otherwise
+	// it degrades to the next-cheapest alternative. The host-native
+	// candidate needs no claim, so placement always terminates.
+	for {
+		ld := s.ledger.Snapshot()
+		cands := rank(s.candidates(d), ld)
+		hostLoaded := math.Inf(1)
+		for i := range cands {
+			if !cands[i].onDevice() {
+				hostLoaded = cands[i].loaded
+				break
+			}
+		}
+		wait := false
+		for i := range cands {
+			c := cands[i]
+			if !c.onDevice() {
+				return c, -1, nil
+			}
+			if c.risky {
+				// No per-query evidence yet: the first execution stays on the
+				// host, where a misestimate costs one lane, not the device.
+				continue
+			}
+			if dev, ok := s.ledger.TryAcquire(c.claim); ok {
+				return c, dev, nil
+			}
+			if c.loaded+ld.DeviceInFlightNs < hostLoaded {
+				wait = true
+				break
+			}
+			// Saturated and not worth waiting for: degrade to the next
+			// candidate in the ranking.
+		}
+		if !wait {
+			// Unreachable: candidates always contains host-native.
+			return candidate{strat: coop.Strategy{Kind: coop.HostNative}, hostNs: d.Costs.HostTotal, rawHostNs: d.Costs.HostTotal}, -1, nil
+		}
+		if err := s.ledger.AwaitChange(ctx); err != nil {
+			// The query's context expired while holding out for a device
+			// slot: run it on the host rather than rejecting admitted work.
+			return candidate{strat: coop.Strategy{Kind: coop.HostNative}, hostNs: d.Costs.HostTotal, rawHostNs: d.Costs.HostTotal}, -1, nil
+		}
+	}
+}
+
+// hostBusy extracts the host's busy (non-stall) virtual time from a report.
+func hostBusy(r *coop.Report) vclock.Duration {
+	busy := r.Elapsed - r.HostAccount[hw.CatWaitInitial] - r.HostAccount[hw.CatWaitFetch]
+	if busy < 0 {
+		busy = 0
+	}
+	return busy
+}
+
+// deviceBusy extracts the device's busy virtual time (setup rendezvous and
+// slot stalls excluded).
+func deviceBusy(r *coop.Report) vclock.Duration {
+	var busy vclock.Duration
+	for cat, d := range r.DeviceAccount {
+		if cat == hw.CatWaitSlots || cat == hw.CatNDPSetup {
+			continue
+		}
+		busy += d
+	}
+	return busy
+}
