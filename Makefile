@@ -1,17 +1,22 @@
-# Tier-1 gate (see ROADMAP.md): build, vet, tests — `make race` adds the race
-# detector, which the concurrent scheduler's stress tests rely on.
+# Tier-1 gate (see ROADMAP.md): build, vet, lint, tests — `make race` adds the
+# race detector, which the concurrent scheduler's stress tests rely on.
 
 GO ?= go
 
-.PHONY: all build vet test race bench serve
+.PHONY: all build vet lint test race bench serve
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# hybridlint: the in-tree analyzer suite (wallclock, lockcheck, maporder,
+# vtunits) enforcing virtual-time and determinism discipline. See DESIGN.md §8.
+lint:
+	$(GO) run ./cmd/hybridlint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,114 @@
+// Command hybridlint is the repository's static-analysis gate: a multichecker
+// running the four custom analyzers that machine-check the simulator's core
+// invariants (see DESIGN.md §8):
+//
+//	wallclock  no wall-clock time / global math/rand in simulation packages
+//	lockcheck  "guarded by mu" fields only touched with mu held
+//	maporder   no order-dependent effects inside map iteration
+//	vtunits    no raw vclock/time conversions or cross-timeline arithmetic
+//
+// Usage:
+//
+//	hybridlint [-only name[,name]] [./...]
+//
+// The tool always analyzes the whole module containing the working directory
+// (the pattern argument is accepted for familiarity). It exits non-zero when
+// any diagnostic survives the //lint:allow filter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hybridndp/internal/analysis"
+	"hybridndp/internal/analysis/load"
+	"hybridndp/internal/analysis/lockcheck"
+	"hybridndp/internal/analysis/maporder"
+	"hybridndp/internal/analysis/vtunits"
+	"hybridndp/internal/analysis/wallclock"
+)
+
+var all = []*analysis.Analyzer{
+	wallclock.Analyzer,
+	lockcheck.Analyzer,
+	maporder.Analyzer,
+	vtunits.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hybridlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlint:", err)
+		os.Exit(2)
+	}
+	units, err := load.Module(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(units, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hybridlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		rel := d.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hybridlint: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}

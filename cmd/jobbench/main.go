@@ -19,6 +19,7 @@ import (
 
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
+	"hybridndp/internal/job"
 )
 
 func main() {
@@ -26,6 +27,9 @@ func main() {
 		scale = flag.Float64("scale", 0.05, "JOB dataset scale (1.0 ≈ 3.9M rows)")
 		exps  = flag.String("experiments", "fast",
 			"comma list of calib,fig2,fig11,table3,fig12,fig13,fig14,fig15,fig16,fig17 | fast | all")
+		seed  = flag.Int64("seed", job.DefaultSeed, "dataset generation seed (0 = default)")
+		plans = flag.Bool("plans", false,
+			"dump the optimizer's plan and strategy for every JOB query, then exit; byte-identical across runs at a given -seed/-scale")
 	)
 	flag.Parse()
 
@@ -46,8 +50,22 @@ func main() {
 	}
 
 	start := time.Now()
+	if *plans {
+		// Plan dump: no progress chatter, so the output can be diffed
+		// byte-for-byte between runs.
+		h, err := harness.NewSeeded(*scale, hw.Cosmos(), *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		if err := h.Plans(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("loading JOB at scale %g ...\n", *scale)
-	h, err := harness.New(*scale, hw.Cosmos())
+	h, err := harness.NewSeeded(*scale, hw.Cosmos(), *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jobbench:", err)
 		os.Exit(1)

@@ -50,7 +50,7 @@ type System struct {
 	JOB *job.Dataset
 
 	servingMu sync.Mutex
-	serving   *sched.Scheduler
+	serving   *sched.Scheduler // guarded by servingMu
 }
 
 // New creates an empty system (no tables) over fresh simulated flash.

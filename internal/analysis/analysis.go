@@ -1,0 +1,219 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// go/analysis driver model (golang.org/x/tools is not vendored in this
+// repository, and the build is fully offline). It provides just enough of the
+// Analyzer / Pass / Diagnostic vocabulary for the hybridlint suite: analyzers
+// receive a type-checked package and report position-tagged diagnostics; the
+// driver filters them through the `//lint:allow` directive mechanism.
+//
+// Directives: a comment of the form
+//
+//	//lint:allow <analyzer> [reason...]
+//
+// suppresses diagnostics of <analyzer> on the same line and on the line
+// directly below (so the directive can trail the offending expression or sit
+// on its own line above it). Directives are only honored inside packages the
+// analyzer explicitly allow-lists (Analyzer.AllowIn); anywhere else the
+// directive itself is reported as a violation, so suppressions cannot creep
+// into the simulator unnoticed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Packages restricts the analyzer to packages whose import path's final
+	// segment is in the list. Empty means every package.
+	Packages []string
+	// AllowIn lists package-path suffixes in which //lint:allow directives
+	// for this analyzer are honored. A directive in any other package is
+	// itself a diagnostic.
+	AllowIn []string
+	// SkipTests excludes _test.go files from the pass.
+	SkipTests bool
+	// Run reports diagnostics for one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // package import path
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.Info.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+var directiveRe = regexp.MustCompile(`^//lint:allow\s+([A-Za-z0-9_]+)(\s|$)`)
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string
+	pos      token.Position
+}
+
+// collectDirectives parses every //lint:allow comment in the files.
+func collectDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				out = append(out, directive{analyzer: m[1], pos: fset.Position(c.Pos())})
+			}
+		}
+	}
+	return out
+}
+
+// pathMatches reports whether the package path matches any entry in list:
+// the full path, a "/"-delimited suffix of it (entry "sched" matches
+// "hybridndp/internal/sched"), or the reverse (a bare fixture path "hw"
+// matches the entry "internal/hw").
+func pathMatches(path string, list []string) bool {
+	for _, s := range list {
+		if path == s || strings.HasSuffix(path, "/"+s) || strings.HasSuffix(s, "/"+path) {
+			return true
+		}
+	}
+	return false
+}
+
+// Unit is one loadable package: files plus type information.
+type Unit struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies every analyzer to every unit, resolves //lint:allow
+// suppressions, and returns the surviving diagnostics sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, u := range units {
+		dirs := collectDirectives(u.Fset, u.Files)
+		for _, a := range analyzers {
+			if len(a.Packages) > 0 && !pathMatches(u.Path, a.Packages) {
+				// Out-of-scope package: a directive naming this analyzer is
+				// dead weight but not a violation (nothing can be suppressed).
+				continue
+			}
+			files := u.Files
+			if a.SkipTests {
+				files = nil
+				for _, f := range u.Files {
+					if !strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
+						files = append(files, f)
+					}
+				}
+			}
+			pass := &Pass{Analyzer: a, Fset: u.Fset, Files: files, Path: u.Path, Pkg: u.Pkg, Info: u.Info}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
+			}
+			all = append(all, filterAllowed(pass.diags, dirs, a, u.Path)...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		pi, pj := all[i].Pos, all[j].Pos
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// filterAllowed drops diagnostics suppressed by a directive in an allow-listed
+// package and reports directives that appear outside the allow-list.
+func filterAllowed(diags []Diagnostic, dirs []directive, a *Analyzer, path string) []Diagnostic {
+	inAllowList := pathMatches(path, a.AllowIn)
+	// Lines covered by a directive for this analyzer: the directive's own
+	// line and the line below it.
+	covered := map[string]map[int]bool{}
+	var out []Diagnostic
+	for _, d := range dirs {
+		if d.analyzer != a.Name {
+			continue
+		}
+		if !inAllowList {
+			out = append(out, Diagnostic{
+				Analyzer: a.Name,
+				Pos:      d.pos,
+				Message: fmt.Sprintf("//lint:allow %s is not permitted in package %s (allow-list: %s)",
+					a.Name, path, strings.Join(a.AllowIn, ", ")),
+			})
+			continue
+		}
+		if covered[d.pos.Filename] == nil {
+			covered[d.pos.Filename] = map[int]bool{}
+		}
+		covered[d.pos.Filename][d.pos.Line] = true
+		covered[d.pos.Filename][d.pos.Line+1] = true
+	}
+	for _, d := range diags {
+		if covered[d.Pos.Filename][d.Pos.Line] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+// Package analysistest runs an analyzer over fixture packages and checks its
+// diagnostics against expectations embedded in the fixtures, mirroring the
+// x/tools package of the same name (which is not available offline). A
+// fixture line marks its expected diagnostic with a trailing comment:
+//
+//	time.Now() // want `wall-clock call`
+//
+// The backquoted string is a regular expression matched against the
+// diagnostic message; every diagnostic must match a want on its line, and
+// every want must be matched by exactly one diagnostic. Fixtures live in
+// GOPATH-style layout under testdata/src/<pkg>/, and may import sibling
+// fixture packages by their directory name.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"hybridndp/internal/analysis"
+	"hybridndp/internal/analysis/load"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// expectation is one `// want` comment.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src and applies the analyzer to the named fixture
+// packages (directory names under testdata/src), comparing diagnostics
+// against the `// want` expectations in those packages' files.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	units, err := load.Tree(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	want := map[string]bool{}
+	for _, p := range pkgs {
+		want[p] = true
+	}
+	var selected []*analysis.Unit
+	for _, u := range units {
+		if want[u.Path] {
+			selected = append(selected, u)
+		}
+	}
+	if len(selected) != len(pkgs) {
+		t.Fatalf("fixture packages %v: found %d of %d under %s", pkgs, len(selected), len(pkgs), testdata)
+	}
+	diags, err := analysis.Run(selected, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	expects := collectExpectations(t, selected)
+	for _, d := range diags {
+		matched := false
+		for _, e := range expects {
+			if e.file == d.Pos.Filename && e.line == d.Pos.Line && e.re.MatchString(d.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.re)
+		}
+	}
+}
+
+// collectExpectations scans the fixture files for `// want` comments.
+func collectExpectations(t *testing.T, units []*analysis.Unit) []*expectation {
+	t.Helper()
+	var out []*expectation
+	seen := map[string]bool{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			name := u.Fset.Position(f.Pos()).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			b, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			for i, line := range strings.Split(string(b), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				out = append(out, &expectation{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package lockcheck enforces the repository's mutex annotation discipline:
+// a struct field whose declaration carries a "guarded by <mu>" comment may
+// only be read or written inside methods of that struct that demonstrably
+// hold <mu> — i.e. the method called <recv>.<mu>.Lock() (or RLock) earlier in
+// its body, or the method's name ends in "Locked", the repository convention
+// for helpers whose caller holds the lock.
+//
+// The check is deliberately syntactic and intra-package (no alias or
+// escape analysis): it catches the common regression — a new method touching
+// guarded state without locking — not adversarial code. Constructors are
+// exempt by construction: they access fields through local variables, not a
+// method receiver, and no other goroutine can hold a reference yet.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"hybridndp/internal/analysis"
+)
+
+// Analyzer is the lockcheck check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockcheck",
+	Doc:       `fields annotated "guarded by mu" must be accessed with mu held`,
+	SkipTests: true,
+	Run:       run,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedStruct records one annotated struct's guarded fields.
+type guardedStruct struct {
+	fields  map[string]string // field name → mutex field name
+	mutexes map[string]bool   // declared field names, to validate annotations
+}
+
+func run(pass *analysis.Pass) error {
+	structs := map[string]*guardedStruct{} // struct type name → annotations
+
+	// Pass 1: collect "guarded by" annotations from struct declarations.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			gs := &guardedStruct{fields: map[string]string{}, mutexes: map[string]bool{}}
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					gs.mutexes[name.Name] = true
+				}
+				mu := guardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				for _, name := range fld.Names {
+					gs.fields[name.Name] = mu
+				}
+			}
+			if len(gs.fields) == 0 {
+				return true
+			}
+			for fname, mu := range gs.fields {
+				if !gs.mutexes[mu] {
+					pass.Reportf(ts.Pos(), "field %s.%s is annotated guarded by %s, but %s has no field %s",
+						ts.Name.Name, fname, mu, ts.Name.Name, mu)
+				}
+			}
+			structs[ts.Name.Name] = gs
+			return true
+		})
+	}
+	if len(structs) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every method of an annotated struct.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			tname := recvTypeName(fd.Recv.List[0].Type)
+			gs, ok := structs[tname]
+			if !ok {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // convention: the caller holds the lock
+			}
+			if len(fd.Recv.List[0].Names) == 0 {
+				continue // no receiver name: fields are unreachable
+			}
+			recv := fd.Recv.List[0].Names[0].Name
+			checkMethod(pass, fd, recv, tname, gs)
+		}
+	}
+	return nil
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line comment.
+func guardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// recvTypeName unwraps *T / T receiver types to the bare type name.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver T[P]
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// checkMethod reports guarded-field accesses not preceded by a lock of the
+// guarding mutex within the method body.
+func checkMethod(pass *analysis.Pass, fd *ast.FuncDecl, recv, tname string, gs *guardedStruct) {
+	// lockPos[mu] is the earliest position at which mu is demonstrably held.
+	lockPos := map[string]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := inner.X.(*ast.Ident)
+		if !ok || base.Name != recv {
+			return true
+		}
+		mu := inner.Sel.Name
+		if p, seen := lockPos[mu]; !seen || call.Pos() < p {
+			lockPos[mu] = call.Pos()
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || base.Name != recv {
+			return true
+		}
+		mu, guarded := gs.fields[sel.Sel.Name]
+		if !guarded {
+			return true
+		}
+		if p, held := lockPos[mu]; held && p < sel.Pos() {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "%s.%s is guarded by %s, but %s.%s does not hold it here (lock %s.%s first, or name the method *Locked if the caller holds it)",
+			tname, sel.Sel.Name, mu, tname, fd.Name.Name, recv, mu)
+		return true
+	})
+}

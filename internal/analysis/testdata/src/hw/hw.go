@@ -1,0 +1,18 @@
+// Package hw is the wallclock allow-list fixture: the real internal/hw
+// profiler measures wall time legitimately, so //lint:allow wallclock is
+// honored here — but only on annotated lines.
+package hw
+
+import "time"
+
+func profile() float64 {
+	start := time.Now() //lint:allow wallclock (profiler measures real throughput)
+	work()
+	return time.Since(start).Seconds() //lint:allow wallclock (profiler measures real throughput)
+}
+
+func work() {}
+
+func unannotated() time.Time {
+	return time.Now() // want `wall-clock call time\.Now`
+}

@@ -1,0 +1,81 @@
+// Package lockcheck is the lockcheck fixture: counter's fields are annotated
+// "guarded by mu", so methods must lock before touching them.
+package lockcheck
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int   // guarded by mu
+	hi int   // guarded by mu
+	ro int64 // immutable, not annotated
+}
+
+// Inc holds the lock: no diagnostics.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+}
+
+// Peek reads n without the lock: flagged.
+func (c *counter) Peek() int {
+	return c.n // want `counter\.n is guarded by mu`
+}
+
+// bump touches n before locking: the late lock does not retroactively bless
+// the earlier access.
+func (c *counter) bump() {
+	c.n++ // want `counter\.n is guarded by mu`
+	c.mu.Lock()
+	c.hi = c.n
+	c.mu.Unlock()
+}
+
+// resetLocked follows the caller-holds-the-lock naming convention: exempt.
+func (c *counter) resetLocked() {
+	c.n = 0
+	c.hi = 0
+}
+
+// Reset drives the helper under the lock.
+func (c *counter) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resetLocked()
+}
+
+// Immutable reads an unannotated field: no diagnostic.
+func (c *counter) Immutable() int64 { return c.ro }
+
+// newCounter is a constructor, not a method: composite-literal initialization
+// is out of scope for the syntactic check.
+func newCounter() *counter {
+	return &counter{ro: 7}
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// Get holds the read lock: RLock counts as holding mu.
+func (r *rw) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+// Len forgets the lock: flagged.
+func (r *rw) Len() int {
+	return len(r.m) // want `rw\.m is guarded by mu`
+}
+
+type badAnnotation struct { // want `annotated guarded by lock, but badAnnotation has no field lock`
+	n int // guarded by lock
+}
+
+func (b *badAnnotation) get() int { return b.n } // want `badAnnotation\.n is guarded by lock`

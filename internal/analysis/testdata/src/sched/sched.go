@@ -1,0 +1,55 @@
+// Package sched is a wallclock fixture: its final import-path segment makes
+// it a simulation package, so wall-clock calls and global math/rand are
+// violations, and //lint:allow directives are not honored here.
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+type ticket struct {
+	submitted time.Time
+}
+
+func submit() *ticket {
+	return &ticket{submitted: time.Now()} // want `wall-clock call time\.Now`
+}
+
+func wait(t *ticket) time.Duration {
+	return time.Since(t.submitted) // want `wall-clock call time\.Since`
+}
+
+func backoff() {
+	time.Sleep(time.Millisecond) // want `wall-clock call time\.Sleep`
+}
+
+func jitter() int {
+	return rand.Intn(100) // want `global math/rand call rand\.Intn`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand call rand\.Shuffle`
+}
+
+// seeded is the blessed pattern: an injected per-instance source.
+func seeded(rng *rand.Rand) int {
+	return rng.Intn(100)
+}
+
+// construction of sources is allowed — only the global functions are banned.
+func newSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// durations and other time types are fine; only wall-clock reads are banned.
+func grace(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}
+
+func suppressed() time.Time {
+	// The directive is parsed, but sched is not on the wallclock allow-list,
+	// so it is itself reported — and does not suppress the call below it.
+	//lint:allow wallclock not allowed outside internal/hw // want `//lint:allow wallclock is not permitted in package sched`
+	return time.Now() // want `wall-clock call time\.Now`
+}

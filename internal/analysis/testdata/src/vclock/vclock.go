@@ -1,0 +1,58 @@
+// Package vclock is a fixture stub of the real internal/vclock package: just
+// enough surface (Duration, Time, Timeline, the blessed conversions) for the
+// vtunits fixture to type-check. The analyzer matches vclock types by package
+// path suffix, so this stub's "vclock" path stands in for the real one — and,
+// like the real one, the package itself is exempt from vtunits.
+package vclock
+
+import "time"
+
+// Duration is a span of virtual time in microseconds.
+type Duration float64
+
+// Time is an instant on a virtual timeline, microseconds since start.
+type Time float64
+
+// Std converts a virtual duration to a wall-clock representation.
+func (d Duration) Std() time.Duration {
+	return time.Duration(float64(d) * float64(time.Microsecond))
+}
+
+// Std converts a virtual instant to a wall-clock offset representation.
+func (t Time) Std() time.Duration {
+	return time.Duration(float64(t) * float64(time.Microsecond))
+}
+
+// FromStd converts a wall-clock duration into virtual microseconds.
+func FromStd(d time.Duration) Duration {
+	return Duration(float64(d) / float64(time.Microsecond))
+}
+
+// Sub returns the span t-u on one timeline.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Timeline is an independently advancing virtual clock.
+type Timeline struct {
+	now Time
+}
+
+// Now returns the timeline's current instant.
+func (tl *Timeline) Now() Time { return tl.now }
+
+// WaitUntil advances the timeline to at least t (a rendezvous point).
+func (tl *Timeline) WaitUntil(t Time) {
+	if t > tl.now {
+		tl.now = t
+	}
+}
+
+// MaxTime returns the later of two instants.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+// Package vtunits is the vtunits fixture: raw unit conversions and
+// cross-timeline arithmetic are flagged; the blessed Std/FromStd conversions
+// and single-timeline math are not.
+package vtunits
+
+import (
+	"time"
+
+	"vclock"
+)
+
+// badVirtualToWall casts a virtual duration straight to wall units.
+func badVirtualToWall(d vclock.Duration) time.Duration {
+	return time.Duration(d) // want `raw conversion time\.Duration\(d\) from vclock\.Duration: use the \.Std\(\) accessor`
+}
+
+// badInstantToWall casts a virtual instant straight to wall units.
+func badInstantToWall(t vclock.Time) time.Duration {
+	return time.Duration(t) // want `raw conversion time\.Duration\(t\) from vclock\.Time: use the \.Std\(\) accessor`
+}
+
+// badWallToVirtual casts a wall duration straight to virtual units.
+func badWallToVirtual(d time.Duration) vclock.Duration {
+	return vclock.Duration(d) // want `raw conversion vclock\.Duration\(d\) from time\.Duration: use vclock\.FromStd`
+}
+
+// badWallToInstant seeds a virtual instant from wall time.
+func badWallToInstant(d time.Duration) vclock.Time {
+	return vclock.Time(d) // want `wall-clock time must not seed a virtual instant`
+}
+
+// goodStd uses the blessed accessor.
+func goodStd(d vclock.Duration) time.Duration {
+	return d.Std()
+}
+
+// goodFromStd uses the blessed constructor.
+func goodFromStd(d time.Duration) vclock.Duration {
+	return vclock.FromStd(d)
+}
+
+// goodScalar converts from a unitless scalar, not across the boundary.
+func goodScalar(us float64) vclock.Duration {
+	return vclock.Duration(us)
+}
+
+// badCrossSub subtracts instants read from two independent clocks.
+func badCrossSub(host, dev *vclock.Timeline) vclock.Duration {
+	return host.Now().Sub(dev.Now()) // want `combines instants from different timelines \(dev, host\)`
+}
+
+// badCrossCompare compares instants read from two independent clocks.
+func badCrossCompare(host, dev *vclock.Timeline) bool {
+	return host.Now() < dev.Now() // want `combines instants from different timelines \(dev, host\)`
+}
+
+// badCrossMinus mixes two clocks in raw binary arithmetic.
+func badCrossMinus(host, dev *vclock.Timeline) vclock.Time {
+	return host.Now() - dev.Now() // want `combines instants from different timelines \(dev, host\)`
+}
+
+// goodSameTimeline measures a span on one clock: fine.
+func goodSameTimeline(tl *vclock.Timeline) vclock.Duration {
+	start := tl.Now()
+	return tl.Now().Sub(start)
+}
+
+// goodAdd advances an instant by a duration on one clock: fine.
+func goodAdd(tl *vclock.Timeline, d vclock.Duration) vclock.Time {
+	return tl.Now().Add(d)
+}
+
+// goodRendezvous synchronizes clocks the explicit way: Now() as a call
+// argument is a handoff, not arithmetic.
+func goodRendezvous(host, dev *vclock.Timeline) {
+	host.WaitUntil(dev.Now())
+}
+
+// goodMax picks the later rendezvous point via the blessed helper.
+func goodMax(host, dev *vclock.Timeline) vclock.Time {
+	return vclock.MaxTime(host.Now(), dev.Now())
+}

@@ -1,0 +1,12 @@
+package vtunits_test
+
+import (
+	"testing"
+
+	"hybridndp/internal/analysis/analysistest"
+	"hybridndp/internal/analysis/vtunits"
+)
+
+func TestVtunits(t *testing.T) {
+	analysistest.Run(t, "../testdata", vtunits.Analyzer, "vtunits")
+}

@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"hybridndp/internal/analysis/analysistest"
+	"hybridndp/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "../testdata", wallclock.Analyzer, "sched", "hw")
+}

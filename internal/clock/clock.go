@@ -1,0 +1,65 @@
+// Package clock is the injectable wall-time source for the layers of the
+// system that legitimately deal in wall time — the scheduler's admission
+// queue (queue-wait measurement, priority aging, admission timeouts) and the
+// serving harness. Simulation packages must not read wall time at all (the
+// hybridlint wallclock analyzer enforces this); the few components that need
+// it take a Clock so tests can substitute a deterministic fake and the
+// remaining time.Now calls are confined to this package.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current wall time.
+type Clock interface {
+	Now() time.Time
+	// Since is a convenience for Now().Sub(t).
+	Since(t time.Time) time.Duration
+}
+
+// system is the real wall clock.
+type system struct{}
+
+func (system) Now() time.Time                  { return time.Now() }
+func (system) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// System returns the real wall clock.
+func System() Clock { return system{} }
+
+// Fake is a manually advanced clock for deterministic tests. The zero value
+// starts at the zero time; use NewFake to start at a sensible base instant.
+type Fake struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFake returns a fake clock starting at a fixed, arbitrary base time.
+func NewFake() *Fake {
+	return &Fake{now: time.Date(2025, 3, 25, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now reports the fake's current instant.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since reports the fake duration elapsed since t.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Advance moves the fake clock forward by d.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// Set jumps the fake clock to t.
+func (f *Fake) Set(t time.Time) {
+	f.mu.Lock()
+	f.now = t
+	f.mu.Unlock()
+}

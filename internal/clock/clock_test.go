@@ -1,0 +1,26 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeAdvance(t *testing.T) {
+	f := NewFake()
+	t0 := f.Now()
+	f.Advance(90 * time.Second)
+	if got := f.Since(t0); got != 90*time.Second {
+		t.Fatalf("Since after Advance = %v, want 90s", got)
+	}
+	if !f.Now().Equal(t0.Add(90 * time.Second)) {
+		t.Fatalf("Now = %v, want %v", f.Now(), t0.Add(90*time.Second))
+	}
+}
+
+func TestSystemMonotoneEnough(t *testing.T) {
+	c := System()
+	a := c.Now()
+	if c.Since(a) < 0 {
+		t.Fatal("system clock ran backwards")
+	}
+}

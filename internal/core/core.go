@@ -35,7 +35,7 @@ type Controller struct {
 	Feedback bool
 
 	mu   sync.Mutex
-	runs []RunRecord
+	runs []RunRecord // guarded by mu
 }
 
 // New assembles a controller over a catalog.

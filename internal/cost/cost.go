@@ -56,7 +56,7 @@ type Estimator struct {
 	TargetCPUOnly bool
 
 	mu     sync.RWMutex
-	params Params
+	params Params // guarded by mu
 
 	hostR hw.Rates
 	devR  hw.Rates

@@ -32,11 +32,11 @@ type Flash struct {
 	mu        sync.RWMutex
 	pageBytes int64
 	capacity  int64
-	used      int64
-	next      FileID
-	root      FileID
-	files     map[FileID][]byte
-	stats     Stats
+	used      int64             // guarded by mu
+	next      FileID            // guarded by mu
+	root      FileID            // guarded by mu
+	files     map[FileID][]byte // guarded by mu
+	stats     Stats             // guarded by mu
 }
 
 // New creates a flash module with the model's page size and a capacity in

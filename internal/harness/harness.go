@@ -29,7 +29,13 @@ type H struct {
 
 // New loads the JOB dataset at the given scale and assembles the harness.
 func New(scale float64, m hw.Model) (*H, error) {
-	ds, err := job.Load(scale, m)
+	return NewSeeded(scale, m, job.DefaultSeed)
+}
+
+// NewSeeded is New with an explicit dataset generation seed (0 means
+// job.DefaultSeed).
+func NewSeeded(scale float64, m hw.Model, seed int64) (*H, error) {
+	ds, err := job.LoadSeeded(scale, m, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -72,6 +78,21 @@ type Measurement struct {
 	Rows     int64
 	Batches  int
 	Err      error
+}
+
+// Plans serializes the optimizer's decision for every JOB query: the chosen
+// strategy, split point, reason and the full plan tree. Two runs over
+// identically seeded datasets must produce byte-identical output — this is
+// the determinism surface `cmd/jobbench -plans` exposes for diffing.
+func (h *H) Plans(w io.Writer) error {
+	for _, q := range job.Queries() {
+		d, err := h.Opt.Decide(q)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q.Name, err)
+		}
+		fmt.Fprintf(w, "%s %s split=%d reason=%q\n%s\n\n", q.Name, d.StrategyLabel(), d.Split, d.Reason, d.Plan)
+	}
+	return nil
 }
 
 // SweepStrategies runs the query under block, native, every hybrid split and

@@ -43,15 +43,31 @@ type Dataset struct {
 	Counts map[string]int
 }
 
+// DefaultSeed is the generation seed behind Load; every dataset loaded with
+// it (at one scale) is bit-for-bit identical.
+const DefaultSeed int64 = 20250325
+
 // Load generates the full JOB dataset at the given scale into a fresh nKV
 // instance over simulated flash, flushes it and collects statistics. The
 // generation is deterministic for a given scale.
 func Load(scale float64, m hw.Model) (*Dataset, error) {
+	return LoadSeeded(scale, m, DefaultSeed)
+}
+
+// LoadSeeded is Load with an explicit generation seed, threaded through both
+// the row generator and the LSM memtable height RNGs. Seed 0 means
+// DefaultSeed.
+func LoadSeeded(scale float64, m hw.Model, seed int64) (*Dataset, error) {
 	if scale <= 0 {
 		scale = 0.02
 	}
+	if seed == 0 {
+		seed = DefaultSeed
+	}
 	fl := flash.New(m, 0)
-	db := kv.Open(fl, m, lsm.DefaultConfig())
+	lsmCfg := lsm.DefaultConfig()
+	lsmCfg.Seed = seed
+	db := kv.Open(fl, m, lsmCfg)
 	cat := table.NewCatalog(db)
 	for _, s := range Schemas() {
 		if _, err := cat.CreateTable(s); err != nil {
@@ -59,7 +75,7 @@ func Load(scale float64, m hw.Model) (*Dataset, error) {
 		}
 	}
 	ds := &Dataset{DB: db, Cat: cat, Model: m, Flash: fl, Scale: scale, Counts: map[string]int{}}
-	g := &gen{ds: ds, rng: rand.New(rand.NewSource(20250325))}
+	g := &gen{ds: ds, rng: rand.New(rand.NewSource(seed))}
 	if err := g.run(); err != nil {
 		return nil, err
 	}

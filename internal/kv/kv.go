@@ -23,12 +23,12 @@ type DB struct {
 	fl    *flash.Flash
 	model hw.Model
 	cfg   lsm.Config
-	cfs   map[string]*ColumnFamily
+	cfs   map[string]*ColumnFamily // guarded by mu
 
 	// Durable-mode state (see durable.go).
 	durable     bool
 	manifestMu  sync.Mutex
-	cfManifests map[string]flash.FileID
+	cfManifests map[string]flash.FileID // guarded by manifestMu
 }
 
 // Open creates a database over the given flash module.

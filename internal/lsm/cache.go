@@ -16,13 +16,13 @@ import (
 // strategy comparisons are order-independent.
 type BlockCache struct {
 	mu   sync.Mutex
-	cap  int64
-	used int64
-	lru  *list.List
-	m    map[blockKey]*list.Element
+	cap  int64                      // immutable after NewBlockCache
+	used int64                      // guarded by mu
+	lru  *list.List                 // guarded by mu
+	m    map[blockKey]*list.Element // guarded by mu
 
-	hits   int64
-	misses int64
+	hits   int64 // guarded by mu
+	misses int64 // guarded by mu
 }
 
 type blockKey struct {

@@ -103,12 +103,12 @@ func decodeManifest(raw []byte) (*manifest, error) {
 	return m, nil
 }
 
-// persistManifest writes the current structure and installs it — as the
+// persistManifestLocked writes the current structure and installs it — as the
 // flash root in single-tree mode, or through the OnManifest callback when a
 // higher layer (the nKV multi-CF manifest) owns the root. The previous
 // manifest file is retired afterwards (write-new-then-switch, so a crash
 // between the two steps keeps a valid root).
-func (t *Tree) persistManifest() error {
+func (t *Tree) persistManifestLocked() error {
 	if !t.cfg.Durable {
 		return nil
 	}

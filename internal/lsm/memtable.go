@@ -30,12 +30,23 @@ type MemTable struct {
 	rng      *rand.Rand
 }
 
-// NewMemTable returns an empty memtable with a deterministic height source.
+// DefaultSeed seeds memtable skiplist height generation when the caller does
+// not supply a seed of its own.
+const DefaultSeed int64 = 42
+
+// NewMemTable returns an empty memtable with the default height source.
 func NewMemTable() *MemTable {
+	return NewMemTableSeeded(DefaultSeed)
+}
+
+// NewMemTableSeeded returns an empty memtable whose skiplist heights are drawn
+// from a private RNG seeded with seed, so tower shapes are reproducible and
+// independent across memtables.
+func NewMemTableSeeded(seed int64) *MemTable {
 	return &MemTable{
 		head:   &skipNode{},
 		height: 1,
-		rng:    rand.New(rand.NewSource(42)),
+		rng:    rand.New(rand.NewSource(seed)),
 	}
 }
 

@@ -38,6 +38,9 @@ type Config struct {
 	// instead of installing it as the flash root — the hook the nKV layer
 	// uses to keep one root covering many column families.
 	OnManifest func(id flashFileID) error
+	// Seed is the base seed for memtable skiplist height RNGs; each rotation
+	// derives a fresh per-memtable seed from it. 0 means lsm.DefaultSeed.
+	Seed int64
 }
 
 // DefaultConfig mirrors a small RocksDB-ish setup, scaled for the simulator.
@@ -58,12 +61,13 @@ type Tree struct {
 	mu         sync.RWMutex
 	cfg        Config
 	fl         *flash.Flash
-	mem        *MemTable
-	imm        []*MemTable // immutable memtables, newest first
-	l1         []*SST      // newest first, ranges may overlap
-	levels     [][]*SST    // levels[i] = C_{i+2}, sorted by min key, non-overlapping
+	mem        *MemTable   // guarded by mu
+	imm        []*MemTable // immutable memtables, newest first; guarded by mu
+	l1         []*SST      // newest first, ranges may overlap; guarded by mu
+	levels     [][]*SST    // levels[i] = C_{i+2}, sorted by min key, non-overlapping; guarded by mu
 	wal        *WAL        // nil unless cfg.Durable
-	manifestID flashFileID
+	manifestID flashFileID // guarded by mu
+	memSeq     int64       // memtables created so far, for seed derivation; guarded by mu
 }
 
 // NewTree creates an empty tree over the given flash module.
@@ -74,9 +78,14 @@ func NewTree(fl *flash.Flash, cfg Config) *Tree {
 		def.Durable = cfg.Durable
 		def.WALSyncBytes = cfg.WALSyncBytes
 		def.OnManifest = cfg.OnManifest
+		def.Seed = cfg.Seed
 		cfg = def
 	}
-	t := &Tree{cfg: cfg, fl: fl, mem: NewMemTable()}
+	if cfg.Seed == 0 {
+		cfg.Seed = DefaultSeed
+	}
+	t := &Tree{cfg: cfg, fl: fl}
+	t.mem = t.newMemTableLocked()
 	if cfg.Durable {
 		t.wal = newWAL(fl, cfg.WALSyncBytes)
 	}
@@ -95,7 +104,7 @@ func (t *Tree) Put(key, value []byte) error {
 		}
 	}
 	t.mem.Put(key, value)
-	return t.maybeRotate()
+	return t.maybeRotateLocked()
 }
 
 // Delete writes a tombstone for key.
@@ -108,15 +117,23 @@ func (t *Tree) Delete(key []byte) error {
 		}
 	}
 	t.mem.Delete(key)
-	return t.maybeRotate()
+	return t.maybeRotateLocked()
 }
 
-func (t *Tree) maybeRotate() error {
+// newMemTableLocked derives the next memtable's RNG seed from the configured
+// base seed and a rotation counter, so every memtable over the tree's lifetime
+// gets a distinct but reproducible skiplist height sequence.
+func (t *Tree) newMemTableLocked() *MemTable {
+	t.memSeq++
+	return NewMemTableSeeded(t.cfg.Seed + t.memSeq - 1)
+}
+
+func (t *Tree) maybeRotateLocked() error {
 	if t.mem.ByteSize() < t.cfg.MemTableBytes {
 		return nil
 	}
 	t.imm = append([]*MemTable{t.mem}, t.imm...)
-	t.mem = NewMemTable()
+	t.mem = t.newMemTableLocked()
 	return t.flushLocked()
 }
 
@@ -130,7 +147,7 @@ func (t *Tree) Sync() error {
 	if err := t.wal.Sync(); err != nil {
 		return err
 	}
-	return t.persistManifest()
+	return t.persistManifestLocked()
 }
 
 // Flush forces all memtables (mutable and immutable) to C1 SSTs.
@@ -139,7 +156,7 @@ func (t *Tree) Flush() error {
 	defer t.mu.Unlock()
 	if t.mem.Len() > 0 {
 		t.imm = append([]*MemTable{t.mem}, t.imm...)
-		t.mem = NewMemTable()
+		t.mem = t.newMemTableLocked()
 	}
 	return t.flushLocked()
 }
@@ -187,7 +204,7 @@ func (t *Tree) flushLocked() error {
 	if t.wal != nil {
 		t.wal.Reset()
 	}
-	return t.persistManifest()
+	return t.persistManifestLocked()
 }
 
 // compactL1TieredLocked merges all of C1 into one sorted run pushed onto C2

@@ -1,6 +1,7 @@
 package optimizer_test
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -208,5 +209,42 @@ func TestSingleTableDecision(t *testing.T) {
 	q := job.Listing2(1<<30, false) // 2 tables
 	if _, err := opt.Decide(q); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDecisionsAreDeterministic serializes the optimizer's full output (plan
+// tree, strategy, split, reason) for a fixed query set and requires every
+// repetition — sequential and under t.Parallel against a shared catalog — to
+// be byte-identical. This is the tier-1 determinism gate backing the maporder
+// analyzer: any map-iteration-ordered choice in planning or splitting shows up
+// here as a flaky diff.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	ds, _ := testOpt(t)
+	queries := []string{"1a", "4a", "8c", "16b", "17b", "22c", "29a", "33c"}
+	serialize := func(opt *optimizer.Optimizer) string {
+		var b strings.Builder
+		for _, name := range queries {
+			d, err := opt.Decide(job.QueryByName(name))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			fmt.Fprintf(&b, "%s %s split=%d reason=%q\n%s\n", name, d.StrategyLabel(), d.Split, d.Reason, d.Plan)
+		}
+		return b.String()
+	}
+	want := serialize(optimizer.New(ds.Cat, ds.Model))
+	for i := 0; i < 10; i++ {
+		if got := serialize(optimizer.New(ds.Cat, ds.Model)); got != want {
+			t.Fatalf("sequential repetition %d diverged:\n got: %q\nwant: %q", i, got, want)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		i := i
+		t.Run(fmt.Sprintf("parallel-%d", i), func(t *testing.T) {
+			t.Parallel()
+			if got := serialize(optimizer.New(ds.Cat, ds.Model)); got != want {
+				t.Fatalf("parallel repetition %d diverged", i)
+			}
+		})
 	}
 }

@@ -5,6 +5,7 @@ package query
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"hybridndp/internal/expr"
@@ -224,18 +225,10 @@ func (q *Query) ProjectedColumns() map[string][]string {
 			cols = append(cols, c)
 		}
 		// Stable order for deterministic plans.
-		sortStrings(cols)
+		sort.Strings(cols)
 		out[alias] = cols
 	}
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // SQL renders an approximate SQL text of the query for display.

@@ -52,11 +52,11 @@ type devState struct {
 // paper's setting, host CPU lanes are.
 type Ledger struct {
 	mu   sync.Mutex
-	cond *sync.Cond
-	devs []devState
+	cond *sync.Cond // set once in NewLedger
+	devs []devState // guarded by mu
 
-	hostLanes    int
-	hostAssigned float64
+	hostLanes    int     // immutable after NewLedger
+	hostAssigned float64 // guarded by mu
 }
 
 // NewLedger sizes the ledger from the hardware model: devices × cmdSlots NDP

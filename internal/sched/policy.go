@@ -167,7 +167,7 @@ const deviceRiskCap = 10
 // estimates so placement decisions stay honest under model error.
 type calibration struct {
 	mu  sync.Mutex
-	dev float64 // EWMA of actual/estimate for device-side work
+	dev float64 // EWMA of actual/estimate for device-side work; guarded by mu
 }
 
 const (
@@ -222,7 +222,7 @@ func queryKey(p *exec.Plan) string {
 // learned and the model (plus fleet calibration) for the rest.
 type history struct {
 	mu sync.Mutex
-	m  map[string]*qhist
+	m  map[string]*qhist // guarded by mu
 }
 
 // qhist is one query's learned correction factors (0 = not yet observed).

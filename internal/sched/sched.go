@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"hybridndp/internal/clock"
 	"hybridndp/internal/coop"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/optimizer"
@@ -72,6 +73,10 @@ type Config struct {
 	QueryTimeout time.Duration
 	// Policy selects adaptive serving or one of the forced baselines.
 	Policy Policy
+	// Clock is the wall-time source for ticket timestamps (queue-wait
+	// measurement, priority aging, admission timeouts). Nil means the system
+	// clock; tests inject clock.NewFake() to make aging deterministic.
+	Clock clock.Clock
 }
 
 // DefaultConfig returns a serving configuration suitable for the Cosmos
@@ -92,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeviceCmdSlots < 1 {
 		c.DeviceCmdSlots = 1
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System()
 	}
 	return c
 }
@@ -149,12 +157,12 @@ type Scheduler struct {
 	hist   history
 
 	mu       sync.Mutex
-	notEmpty *sync.Cond
-	notFull  *sync.Cond
-	queues   [numPriorities][]*Ticket
-	queued   int
-	popCount uint64
-	closed   bool
+	notEmpty *sync.Cond               // set once in New
+	notFull  *sync.Cond               // set once in New
+	queues   [numPriorities][]*Ticket // guarded by mu
+	queued   int                      // guarded by mu
+	popCount uint64                   // guarded by mu
+	closed   bool                     // guarded by mu
 
 	wg sync.WaitGroup
 }
@@ -192,7 +200,7 @@ func (s *Scheduler) Submit(ctx context.Context, q *query.Query, prio Priority) (
 	if prio < High || prio > Batch {
 		prio = Normal
 	}
-	t := &Ticket{query: q, priority: prio, ctx: ctx, submitted: time.Now(), done: make(chan struct{})}
+	t := &Ticket{query: q, priority: prio, ctx: ctx, submitted: s.cfg.Clock.Now(), done: make(chan struct{})}
 	stop := context.AfterFunc(ctx, func() {
 		s.mu.Lock()
 		s.notFull.Broadcast()
@@ -222,7 +230,7 @@ func (s *Scheduler) TrySubmit(q *query.Query, prio Priority) (*Ticket, error) {
 	if prio < High || prio > Batch {
 		prio = Normal
 	}
-	t := &Ticket{query: q, priority: prio, ctx: context.Background(), submitted: time.Now(), done: make(chan struct{})}
+	t := &Ticket{query: q, priority: prio, ctx: context.Background(), submitted: s.cfg.Clock.Now(), done: make(chan struct{})}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -321,7 +329,7 @@ func (t *Ticket) finish(o Outcome) {
 
 // process runs one ticket through decide → degrade → execute → record.
 func (s *Scheduler) process(t *Ticket) {
-	wait := time.Since(t.submitted)
+	wait := s.cfg.Clock.Since(t.submitted)
 	base := Outcome{Query: t.query.Name, Priority: t.priority, QueueWait: wait, Device: -1}
 
 	// Admission timeout / cancelled context: reject instead of executing

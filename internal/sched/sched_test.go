@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"hybridndp/internal/clock"
 	"hybridndp/internal/coop"
 	"hybridndp/internal/device"
 	"hybridndp/internal/hw"
@@ -346,5 +347,42 @@ func TestLedgerAccounting(t *testing.T) {
 	// Oversized claims must never be admitted.
 	if _, ok := l.TryAcquire(Claim{MemBytes: m.DeviceNDPBudget + 1}); ok {
 		t.Fatal("claim larger than the NDP budget admitted")
+	}
+}
+
+// TestAgingUsesInjectedClock pins priority aging to the injected clock rather
+// than the wall: every ticket is stamped from a clock.Fake, the fake is
+// advanced between submissions so the starved batch ticket is strictly the
+// oldest, and the fourth dispatch (the aging slot) must promote it past the
+// steady high-priority stream. With a wall clock this ordering would ride on
+// scheduler timing; with the fake it is exact.
+func TestAgingUsesInjectedClock(t *testing.T) {
+	fake := clock.NewFake()
+	cfg := DefaultConfig()
+	cfg.Clock = fake
+	s := &Scheduler{cfg: cfg.withDefaults()}
+	enq := func(p Priority) *Ticket {
+		tk := &Ticket{priority: p, submitted: s.cfg.Clock.Now()}
+		s.queues[p] = append(s.queues[p], tk)
+		s.queued++
+		return tk
+	}
+	batch := enq(Batch)
+	for i := 0; i < 8; i++ {
+		fake.Advance(time.Second) // every High arrival is strictly younger
+		enq(High)
+	}
+	var batchAt int
+	for i := 1; s.queued > 0; i++ {
+		if s.popLocked() == batch {
+			batchAt = i
+		}
+	}
+	if batchAt != 4 {
+		t.Fatalf("batch ticket dispatched at pop %d; the aging dispatch (every 4th) must take the fake-clock-oldest ticket", batchAt)
+	}
+	// The queue-wait measurement must come from the injected clock too.
+	if wait := s.cfg.Clock.Since(batch.submitted); wait != 8*time.Second {
+		t.Fatalf("fake-clock queue wait = %v, want 8s", wait)
 	}
 }

@@ -125,10 +125,10 @@ func (st Stats) String() string {
 // collector accumulates the snapshot under its own lock.
 type collector struct {
 	mu sync.Mutex
-	st Stats
+	st Stats // guarded by mu
 
-	queueWaitSum time.Duration
-	queueWaitN   int64
+	queueWaitSum time.Duration // guarded by mu
+	queueWaitN   int64         // guarded by mu
 }
 
 func newCollector(hostLanes, devLanes int) *collector {

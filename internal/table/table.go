@@ -17,15 +17,15 @@ type Table struct {
 	Indexes map[string]*kv.ColumnFamily // index name → CF
 
 	mu       sync.RWMutex
-	rowCount int64
-	stats    *Stats
+	rowCount int64  // guarded by mu
+	stats    *Stats // guarded by mu
 }
 
 // Catalog is the data dictionary: every table of the database.
 type Catalog struct {
 	mu     sync.RWMutex
 	db     *kv.DB
-	tables map[string]*Table
+	tables map[string]*Table // guarded by mu
 }
 
 // NewCatalog creates an empty catalog over db.

@@ -29,6 +29,13 @@ const (
 // Std converts a virtual duration to a time.Duration for display.
 func (d Duration) Std() time.Duration { return time.Duration(d) }
 
+// FromStd converts a wall-clock duration into virtual nanoseconds. It is the
+// only sanctioned crossing in that direction (the vtunits analyzer flags raw
+// conversions); callers should have a stated reason to import measured wall
+// time into virtual accounting, e.g. seeding a cost model from a calibration
+// run.
+func FromStd(d time.Duration) Duration { return Duration(d) }
+
 func (d Duration) String() string { return d.Std().String() }
 
 // Seconds reports the duration in seconds.
