@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench serve
+.PHONY: all build vet lint test race bench serve trace-smoke
 
 all: build vet lint test
 
@@ -32,3 +32,10 @@ bench:
 # The serving sweep: policy × concurrency throughput table.
 serve:
 	$(GO) run ./cmd/hybridserve -sweep
+
+# Observability smoke: trace one hybrid JOB query (single buffer slot so the
+# device's back-pressure stall is visible) and validate the Chrome trace.
+trace-smoke:
+	$(GO) run ./cmd/jobbench -scale 0.05 -slots 1 -trace "8d@H1:trace.json" >/dev/null
+	$(GO) run ./cmd/tracecheck -slots trace.json
+	rm -f trace.json

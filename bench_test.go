@@ -24,6 +24,7 @@ import (
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/job"
+	"hybridndp/internal/obs"
 	"hybridndp/internal/sched"
 )
 
@@ -480,6 +481,50 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 				if i == 0 {
 					b.ReportMetric(tp, "qps")
 				}
+			}
+		})
+	}
+}
+
+// BenchmarkTracerOverhead measures what the observability layer adds to the
+// scheduler throughput path. The "off" case is the default nil tracer/nil
+// registry: every instrumentation site reduces to one pointer test, so it
+// must stay within noise (≤5% wall time, zero extra allocs) of the
+// pre-instrumentation BenchmarkSchedulerThroughput. The "on" case prices
+// full span tracing plus metrics for comparison.
+func BenchmarkTracerOverhead(b *testing.B) {
+	h := benchHarness(b)
+	mix := harness.ServingMix(2)
+	serve := func(b *testing.B, traced bool) {
+		cfg := sched.DefaultConfig()
+		cfg.Policy = sched.Adaptive
+		cfg.Workers = 16
+		cfg.QueueDepth = 2 * len(mix)
+		if traced {
+			cfg.Traces = obs.NewTraceSet()
+			cfg.Metrics = obs.NewRegistry()
+		}
+		s := sched.New(h.Opt, h.Exec, h.DS.Model, cfg)
+		for j, q := range mix {
+			if _, err := s.Submit(context.Background(), q, sched.Priority(j%3)); err != nil {
+				s.Close()
+				b.Fatal(err)
+			}
+		}
+		s.Close()
+		if st := s.Stats(); st.Errors > 0 {
+			b.Fatalf("%d queries failed", st.Errors)
+		}
+	}
+	for _, traced := range []bool{false, true} {
+		name := "tracer=off"
+		if traced {
+			name = "tracer=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				serve(b, traced)
 			}
 		})
 	}

@@ -21,6 +21,7 @@ import (
 
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
+	"hybridndp/internal/obs"
 	"hybridndp/internal/sched"
 )
 
@@ -34,6 +35,10 @@ func main() {
 		repeat  = flag.Int("repeat", 3, "times the JOB suite is replayed")
 		timeout = flag.Duration("timeout", 0, "per-query admission timeout (0 = none)")
 		sweep   = flag.Bool("sweep", false, "run the policy × concurrency sweep instead")
+		traceF  = flag.String("trace", "",
+			"write a merged Chrome trace_event JSON of every served query to this file")
+		metrics = flag.Bool("metrics", false,
+			"record scheduler/executor metrics and print the registry dump at the end")
 	)
 	flag.Parse()
 
@@ -76,6 +81,17 @@ func main() {
 		cfg.QueueDepth = 2 * len(mix)
 	}
 
+	var reg *obs.Registry
+	if *metrics {
+		reg = h.BindMetrics(obs.NewRegistry())
+		cfg.Metrics = reg
+	}
+	var traces *obs.TraceSet
+	if *traceF != "" {
+		traces = obs.NewTraceSet()
+		cfg.Traces = traces
+	}
+
 	fmt.Printf("serving %d queries (%s policy, %d workers, %d device(s)) ...\n",
 		len(mix), pol, cfg.Workers, cfg.Devices)
 	s := sched.New(h.Opt, h.Exec, h.DS.Model, cfg)
@@ -89,6 +105,26 @@ func main() {
 	st := s.Stats()
 	fmt.Println()
 	fmt.Print(st)
+	if traces != nil {
+		f, err := os.Create(*traceF)
+		if err != nil {
+			fatal(err)
+		}
+		if err := traces.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d traces)\n", *traceF, len(traces.Traces()))
+	}
+	if reg != nil {
+		h.PublishStorage(reg)
+		fmt.Println("\nmetrics")
+		fmt.Println("-------")
+		fmt.Print(reg.Dump())
+	}
 	fmt.Printf("\nwall time %v\n", time.Since(start).Round(time.Millisecond))
 	if st.Errors > 0 {
 		os.Exit(1)

@@ -20,6 +20,7 @@ import (
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/job"
+	"hybridndp/internal/obs"
 )
 
 func main() {
@@ -30,8 +31,24 @@ func main() {
 		seed  = flag.Int64("seed", job.DefaultSeed, "dataset generation seed (0 = default)")
 		plans = flag.Bool("plans", false,
 			"dump the optimizer's plan and strategy for every JOB query, then exit; byte-identical across runs at a given -seed/-scale")
+		trace = flag.String("trace", "",
+			"trace one JOB query (e.g. -trace 8d, -trace 8d@H2:out.json): run it under the decided (or @-forced) strategy, write Chrome trace_event JSON, print the flame report and phase profile, then exit")
+		metrics = flag.Bool("metrics", false,
+			"record execution metrics during the experiments and print the registry dump at the end")
+		slots = flag.Int("slots", 0,
+			"override the device's shared result-buffer slot count (0 = model default); small values make slot back-pressure visible in traces")
+		slotKB = flag.Int("slotkb", 0,
+			"override the shared result-buffer slot size in KiB (0 = model default)")
 	)
 	flag.Parse()
+
+	model := hw.Cosmos()
+	if *slots > 0 {
+		model.SharedSlots = *slots
+	}
+	if *slotKB > 0 {
+		model.SharedBufferSlot = int64(*slotKB) * hw.KB
+	}
 
 	want := map[string]bool{}
 	switch *exps {
@@ -50,10 +67,54 @@ func main() {
 	}
 
 	start := time.Now()
+	if *trace != "" {
+		// Traced single-query run: deterministic, no progress chatter.
+		name, outPath := *trace, "trace.json"
+		if i := strings.IndexByte(name, ':'); i >= 0 {
+			name, outPath = name[:i], name[i+1:]
+		}
+		strat := ""
+		if i := strings.IndexByte(name, '@'); i >= 0 {
+			name, strat = name[:i], name[i+1:]
+		}
+		h, err := harness.NewSeeded(*scale, model, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		if *metrics {
+			h.BindMetrics(obs.NewRegistry())
+		}
+		tr, err := h.TraceQuery(name, strat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteTrace(f, os.Stdout); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		if *metrics {
+			h.PublishStorage(h.Exec.Metrics)
+			fmt.Print(h.Exec.Metrics.Dump())
+		}
+		fmt.Printf("wrote %s (%d spans)\n", outPath, tr.Trace.Len())
+		return
+	}
 	if *plans {
 		// Plan dump: no progress chatter, so the output can be diffed
 		// byte-for-byte between runs.
-		h, err := harness.NewSeeded(*scale, hw.Cosmos(), *seed)
+		h, err := harness.NewSeeded(*scale, model, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jobbench:", err)
 			os.Exit(1)
@@ -65,12 +126,15 @@ func main() {
 		return
 	}
 	fmt.Printf("loading JOB at scale %g ...\n", *scale)
-	h, err := harness.NewSeeded(*scale, hw.Cosmos(), *seed)
+	h, err := harness.NewSeeded(*scale, model, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "jobbench:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("loaded in %v (%d tables)\n", time.Since(start).Round(time.Millisecond), len(h.DS.Cat.Tables()))
+	if *metrics {
+		h.BindMetrics(obs.NewRegistry())
+	}
 
 	w := os.Stdout
 	fail := func(err error) {
@@ -124,6 +188,12 @@ func main() {
 		if _, err := h.Fig17Table4(w); err != nil {
 			fail(err)
 		}
+	}
+	if *metrics {
+		h.PublishStorage(h.Exec.Metrics)
+		fmt.Println("\nmetrics")
+		fmt.Println("-------")
+		fmt.Print(h.Exec.Metrics.Dump())
 	}
 	fmt.Printf("\ndone in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -1,0 +1,104 @@
+// Command tracecheck validates a Chrome trace_event JSON file produced by
+// `jobbench -trace` / `hybridserve -trace`. It is the CI smoke gate for the
+// observability subsystem: the file must parse, contain complete ("X") spans
+// on at least two named threads (host and device), show the two tracks
+// overlapping in time, and — when run with -slots — contain an explicit
+// device.wait.slot back-pressure span.
+//
+// Usage:
+//
+//	tracecheck trace.json            # parse + structural checks
+//	tracecheck -slots trace.json     # also require a slot-stall span
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Args map[string]string `json:"args"`
+}
+
+func main() {
+	slots := flag.Bool("slots", false, "require an explicit device.wait.slot span")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-slots] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(data) == 0 {
+		fail("%s is empty", path)
+	}
+	var events []event
+	if err := json.Unmarshal(data, &events); err != nil {
+		fail("%s does not parse as trace_event JSON: %v", path, err)
+	}
+
+	threads := map[int]string{} // tid -> thread_name (within one pid is enough)
+	type track struct{ lo, hi float64 }
+	tracks := map[string]*track{}
+	var spans, slotSpans int
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			if e.Name == "thread_name" {
+				threads[e.Tid] = e.Args["name"]
+			}
+		case "X":
+			spans++
+			if e.Name == "device.wait.slot" {
+				slotSpans++
+			}
+			name := threads[e.Tid]
+			t := tracks[name]
+			if t == nil {
+				t = &track{lo: e.Ts, hi: e.Ts + e.Dur}
+				tracks[name] = t
+			}
+			if e.Ts < t.lo {
+				t.lo = e.Ts
+			}
+			if e.Ts+e.Dur > t.hi {
+				t.hi = e.Ts + e.Dur
+			}
+		}
+	}
+
+	if spans == 0 {
+		fail("%s contains no complete spans", path)
+	}
+	host, dev := tracks["host"], tracks["device"]
+	if host == nil || dev == nil {
+		fail("%s is missing a host or device track (got %v)", path, threads)
+	}
+	if host.lo >= dev.hi || dev.lo >= host.hi {
+		fail("%s: host [%g,%g]µs and device [%g,%g]µs tracks do not overlap",
+			path, host.lo, host.hi, dev.lo, dev.hi)
+	}
+	if *slots && slotSpans == 0 {
+		fail("%s contains no device.wait.slot span", path)
+	}
+
+	fmt.Printf("tracecheck: %s ok (%d spans, %d threads, %d slot stalls)\n",
+		path, spans, len(threads), slotSpans)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Tracing demonstrates the observability subsystem (internal/obs) on the
+// paper's flagship query: it runs JOB Q8.d as a cooperative hybrid, records
+// every pipeline stage as a span on the host and device virtual timelines,
+// and writes trace.json — load it in a Chrome trace viewer (chrome://tracing
+// or https://ui.perfetto.dev) to see the two engines overlapping and the
+// device stalling on exhausted shared-buffer slots.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hybridndp/internal/harness"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/job"
+)
+
+func main() {
+	// A single shared result-buffer slot makes the back-pressure of paper
+	// §4.3 visible: the device must wait for the host to drain a batch
+	// before producing the next one, which shows up as an explicit
+	// device.wait.slot span on the device track.
+	model := hw.Cosmos()
+	model.SharedSlots = 1
+
+	h, err := harness.NewSeeded(0.05, model, job.DefaultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// H1: one join on the device, the rest on the host.
+	tr, err := h.TraceQuery("8d", "H1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create("trace.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.WriteTrace(f, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote trace.json (%d spans) — open it in a Chrome trace viewer\n",
+		tr.Trace.Len())
+}

@@ -17,6 +17,7 @@ import (
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/lsm"
+	"hybridndp/internal/obs"
 	"hybridndp/internal/table"
 	"hybridndp/internal/vclock"
 )
@@ -85,6 +86,9 @@ type Report struct {
 	Result   *exec.Result
 	// Elapsed is the end-to-end virtual runtime (host completion).
 	Elapsed vclock.Duration
+	// DeviceElapsed is the device timeline's completion instant (zero for
+	// host-only strategies).
+	DeviceElapsed vclock.Duration
 
 	HostAccount   map[string]vclock.Duration
 	DeviceAccount map[string]vclock.Duration
@@ -93,6 +97,18 @@ type Report struct {
 	TransferredBytes int64
 	Timeline         []BatchEvent
 	DeviceMemory     device.MemoryPlan
+}
+
+// Profile aggregates the report's timeline accounts into the paper's phase
+// structure (obs.QueryProfile): host phases partition the end-to-end virtual
+// runtime, device phases the device timeline span, with explicit stall
+// accounting.
+func (r *Report) Profile() *obs.QueryProfile {
+	var dev map[string]vclock.Duration
+	if len(r.DeviceAccount) > 0 {
+		dev = r.DeviceAccount
+	}
+	return obs.Profile(r.Query, r.Strategy.String(), r.HostAccount, dev, r.Elapsed, r.DeviceElapsed)
 }
 
 // WaitInitial reports the host's initial stall waiting for the first device
@@ -125,6 +141,10 @@ type Executor struct {
 	Chunks int
 	// CacheFormat overrides the device cache-structure choice.
 	CacheFormat CacheFormat
+	// Metrics receives per-run counters/histograms (batches, transfer volume,
+	// stall time, cache hit rates). Nil disables metric recording; the
+	// registry is race-safe, so one registry may be shared by concurrent runs.
+	Metrics *obs.Registry
 }
 
 // applyCacheFormat applies the override to a device engine.
@@ -153,28 +173,80 @@ func (x *Executor) hostCache() *lsm.BlockCache {
 
 // Run executes the plan under the given strategy.
 func (x *Executor) Run(p *exec.Plan, s Strategy) (*Report, error) {
+	return x.RunTraced(p, s, nil)
+}
+
+// RunTraced executes the plan under the given strategy, recording structured
+// spans into tr (nil tr disables tracing at the cost of a pointer test per
+// span site). The trace is per-run state, so one Executor can serve
+// concurrent traced runs, each with its own Trace.
+func (x *Executor) RunTraced(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
+	var rep *Report
+	var err error
 	switch s.Kind {
 	case BlockOnly:
-		return x.runHostOnly(p, s, hw.BlockStackRates(x.Model))
+		rep, err = x.runHostOnly(p, s, hw.BlockStackRates(x.Model), tr)
 	case HostNative:
-		return x.runHostOnly(p, s, hw.HostRates(x.Model))
+		rep, err = x.runHostOnly(p, s, hw.HostRates(x.Model), tr)
 	case NDPOnly:
-		return x.runNDPOnly(p, s)
+		rep, err = x.runNDPOnly(p, s, tr)
 	case Hybrid:
-		return x.runHybrid(p, s)
+		rep, err = x.runHybrid(p, s, tr)
+	default:
+		return nil, fmt.Errorf("coop: unknown strategy %v", s.Kind)
 	}
-	return nil, fmt.Errorf("coop: unknown strategy %v", s.Kind)
+	if err != nil {
+		return nil, err
+	}
+	x.recordRun(rep)
+	return rep, nil
+}
+
+// recordRun publishes one finished run's outcome into the metrics registry
+// (no-op on a nil registry).
+func (x *Executor) recordRun(r *Report) {
+	m := x.Metrics
+	if m == nil {
+		return
+	}
+	m.Counter("coop.runs."+r.Strategy.Kind.String()).Inc()
+	m.Histogram("coop.elapsed.ns", obs.DefaultDurationBuckets).Observe(float64(r.Elapsed))
+	if r.Batches > 0 {
+		m.Counter("coop.batches").Add(int64(r.Batches))
+		m.Histogram("coop.batch.count", obs.DefaultSizeBuckets).Observe(float64(r.Batches))
+	}
+	if r.TransferredBytes > 0 {
+		m.Counter("coop.transfer.bytes").Add(r.TransferredBytes)
+	}
+	m.Counter("coop.stall.host.initial.ns").Add(int64(r.WaitInitial()))
+	m.Counter("coop.stall.host.fetch.ns").Add(int64(r.WaitFetch()))
+	m.Counter("coop.stall.device.slots.ns").Add(int64(r.DeviceWaitSlots()))
+}
+
+// recordCache publishes a host block cache's hit/miss counts (no-op on a nil
+// registry).
+func (x *Executor) recordCache(c *lsm.BlockCache) {
+	m := x.Metrics
+	if m == nil || c == nil {
+		return
+	}
+	hits, misses, _ := c.Stats()
+	m.Counter("coop.host.cache.hits").Add(hits)
+	m.Counter("coop.host.cache.misses").Add(misses)
 }
 
 // runHostOnly executes the whole plan on the host stack. All table data
 // crosses the interconnect as part of the host flash path.
-func (x *Executor) runHostOnly(p *exec.Plan, s Strategy, rates hw.Rates) (*Report, error) {
+func (x *Executor) runHostOnly(p *exec.Plan, s Strategy, rates hw.Rates, tr *obs.Trace) (*Report, error) {
 	tl := vclock.NewTimeline("host")
 	eng := &exec.Engine{Cat: x.Cat, TL: tl, R: rates, Cache: x.hostCache()}
+	root := tr.Start(tl, "query:"+p.Query.Name).Attr("strategy", s.String())
 	res, err := eng.RunPlan(p)
+	root.End()
 	if err != nil {
 		return nil, err
 	}
+	x.recordCache(eng.Cache)
 	return &Report{
 		Query:       p.Query.Name,
 		Strategy:    s,
@@ -225,12 +297,14 @@ func (x *Executor) chunkCount(p *exec.Plan) int {
 
 // runNDPOnly offloads the complete plan including grouping/aggregation; the
 // host only issues the command and fetches the final result.
-func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy) (*Report, error) {
+func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
 	snap, err := x.snapshotFor(p, -1) // full plan: all tables device-read
 	if err != nil {
 		return nil, err
 	}
 	dev := device.New(x.Model, x.Cat)
+	dev.Trace = tr
+	dev.Metrics = x.Metrics
 	cmd := &device.Command{Plan: p, SplitAfter: len(p.Steps), Snapshot: snap, Chunks: 1}
 	if err := dev.Validate(cmd); err != nil {
 		return nil, err
@@ -242,24 +316,40 @@ func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy) (*Report, error) {
 	hostTL := vclock.NewTimeline("host")
 	hostR := hw.HostRates(x.Model)
 
+	root := tr.Start(hostTL, "query:"+p.Query.Name).Attr("strategy", s.String())
+	devRoot := tr.Start(dev.TL, "device:"+p.Query.Name).Attr("strategy", s.String())
+
 	// NDP setup: the command (plan, placements, shared state) crosses PCIe.
+	sp := tr.Start(hostTL, "ndp.setup").AttrInt("cmd.bytes", cmd.Bytes())
 	setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
 	hostTL.Charge(hw.CatNDPSetup, setup)
+	sp.End()
+	dsp := tr.Start(dev.TL, "device.setup.wait")
 	dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
+	dsp.End()
 
+	dsp = tr.Start(dev.TL, "device.plan")
 	res, err := eng.RunPlan(p)
+	dsp.End()
+	devRoot.End()
 	if err != nil {
 		return nil, err
 	}
 	// Host waits for device completion, then transfers the final result.
+	sp = tr.Start(hostTL, "host.wait.device")
 	hostTL.WaitUntil(dev.TL.Now(), hw.CatWaitInitial)
+	sp.End()
+	sp = tr.Start(hostTL, "transfer.result").AttrInt("bytes", res.Bytes)
 	hostR.Transfer(hostTL, res.Bytes, x.Model.SharedBufferSlot)
+	sp.End()
+	root.End()
 
 	return &Report{
 		Query:            p.Query.Name,
 		Strategy:         s,
 		Result:           res,
 		Elapsed:          vclock.Duration(hostTL.Now()),
+		DeviceElapsed:    vclock.Duration(dev.TL.Now()),
 		HostAccount:      hostTL.Account(),
 		DeviceAccount:    dev.TL.Account(),
 		TransferredBytes: res.Bytes,
@@ -268,7 +358,7 @@ func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy) (*Report, error) {
 }
 
 // runHybrid is the cooperative execution path.
-func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
+func (x *Executor) runHybrid(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
 	split := s.Split
 	if split == 0 {
 		split = -1 // H0
@@ -298,6 +388,8 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 		return nil, err
 	}
 	dev := device.New(x.Model, x.Cat)
+	dev.Trace = tr
+	dev.Metrics = x.Metrics
 	cmd := &device.Command{Plan: p, SplitAfter: split, Snapshot: snap, Chunks: x.chunkCount(p)}
 	if err := dev.Validate(cmd); err != nil {
 		return nil, err
@@ -318,10 +410,18 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 		return nil, err
 	}
 
+	root := tr.Start(hostTL, "query:"+p.Query.Name).Attr("strategy", s.String())
+	devRoot := tr.Start(dev.TL, "device:"+p.Query.Name).Attr("strategy", s.String()).
+		AttrInt("chunks", int64(cmd.Chunks))
+
 	// (A) NDP invocation.
+	sp := tr.Start(hostTL, "ndp.setup").AttrInt("cmd.bytes", cmd.Bytes())
 	setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
 	hostTL.Charge(hw.CatNDPSetup, setup)
+	sp.End()
+	dsp := tr.Start(dev.TL, "device.setup.wait")
 	dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
+	dsp.End()
 
 	// Host prep overlaps the device's initial execution: build the hash
 	// tables of the host-side buffered joins now.
@@ -332,7 +432,11 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 	if split > 0 { // Hk: host joins steps[split:]; inners are host-scanned.
 		for si := hostFrom; si < len(p.Steps); si++ {
 			if p.Steps[si].Type != exec.BNLI {
-				if _, err := hostEng.BuildInner(pl, si); err != nil {
+				bsp := tr.Start(hostTL, "host.build.inner").
+					Attr("alias", p.Steps[si].Right.Ref.Alias).AttrInt("step", int64(si))
+				_, err := hostEng.BuildInner(pl, si)
+				bsp.End()
+				if err != nil {
 					return nil, err
 				}
 			}
@@ -346,12 +450,19 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 
 	emit := func(b device.Batch) {
 		cat := hw.CatWaitFetch
+		spName := "host.wait.fetch"
 		if first {
 			cat = hw.CatWaitInitial
+			spName = "host.wait.initial"
 		}
-		hostTL.WaitUntil(b.Ready, cat)
+		idx := int64(report.Batches)
+		wsp := tr.Start(hostTL, spName).AttrInt("batch", idx)
+		stall := hostTL.WaitUntil(b.Ready, cat)
+		wsp.Attr("stall", stall.String()).End()
 		first = false
+		tsp := tr.Start(hostTL, "host.fetch").AttrInt("batch", idx).AttrInt("bytes", b.Bytes)
 		hostR.Transfer(hostTL, maxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
+		tsp.End()
 		fetchDone = append(fetchDone, hostTL.Now())
 		report.TransferredBytes += b.Bytes
 		report.Batches++
@@ -363,8 +474,10 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 			HostFetched: hostTL.Now(),
 		}
 
+		psp := tr.Start(hostTL, "host.process.batch").AttrInt("batch", idx)
 		if b.LeafAlias != "" {
 			// H0 leaf batch: seed the host join's inner side.
+			psp.Attr("leaf", b.LeafAlias)
 			for si, st := range p.Steps {
 				if st.Right.Ref.Alias == b.LeafAlias {
 					if seedErr := hostEng.SeedInner(pl, si, b.Rows); seedErr != nil && err == nil {
@@ -379,13 +492,21 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 			batch := b.Tuples
 			ev.Rows = len(batch)
 			for si := hostFrom; si < len(p.Steps); si++ {
+				jsp := tr.Start(hostTL, "host.join").AttrInt("step", int64(si)).
+					AttrInt("in.rows", int64(len(batch)))
 				var jerr error
 				batch, jerr = hostEng.JoinStep(pl, si, batch)
+				jsp.AttrInt("out.rows", int64(len(batch))).End()
 				if jerr != nil && err == nil {
 					err = jerr
 				}
 			}
 			tuples = append(tuples, batch...)
+		}
+		psp.AttrInt("rows", int64(ev.Rows)).End()
+		if m := x.Metrics; m != nil {
+			m.Histogram("coop.batch.rows", obs.DefaultSizeBuckets).Observe(float64(ev.Rows))
+			m.Histogram("coop.batch.bytes", obs.DefaultSizeBuckets).Observe(float64(b.Bytes))
 		}
 		ev.HostDone = hostTL.Now()
 		report.Timeline = append(report.Timeline, ev)
@@ -397,19 +518,26 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy) (*Report, error) {
 		return 0, false
 	}
 
-	if runErr := dev.Run(cmd, pl, devEng, emit, waitSlot); runErr != nil {
+	runErr := dev.Run(cmd, pl, devEng, emit, waitSlot)
+	devRoot.End()
+	if runErr != nil {
 		return nil, runErr
 	}
 	if err != nil {
 		return nil, err
 	}
 
+	fsp := tr.Start(hostTL, "host.finalize").AttrInt("rows", int64(len(tuples)))
 	res, err := hostEng.Finalize(pl, tuples)
+	fsp.End()
+	root.End()
 	if err != nil {
 		return nil, err
 	}
+	x.recordCache(hostEng.Cache)
 	report.Result = res
 	report.Elapsed = vclock.Duration(hostTL.Now())
+	report.DeviceElapsed = vclock.Duration(dev.TL.Now())
 	report.HostAccount = hostTL.Account()
 	report.DeviceAccount = dev.TL.Account()
 	return report, nil

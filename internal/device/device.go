@@ -13,6 +13,7 @@ import (
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/lsm"
+	"hybridndp/internal/obs"
 	"hybridndp/internal/table"
 	"hybridndp/internal/vclock"
 )
@@ -109,6 +110,13 @@ type Device struct {
 	Cat   *table.Catalog
 	// TL is core 1's execution timeline.
 	TL *vclock.Timeline
+	// Trace receives device-side spans (leaf scans, driving chunks, explicit
+	// slot-stall spans). Nil disables tracing. A device is created per run, so
+	// the trace needs no further synchronization here.
+	Trace *obs.Trace
+	// Metrics receives device counters (scan volume, batches, slot stalls).
+	// Nil disables them.
+	Metrics *obs.Registry
 }
 
 // New creates a device bound to the catalog (whose flash it reads directly).
@@ -146,37 +154,64 @@ func (d *Device) Run(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 	emitBatch := func(b Batch) {
 		if produced >= slots {
 			if t, ok := waitSlot(produced - slots); ok {
-				d.TL.WaitUntil(t, hw.CatWaitSlots)
+				// All shared buffer slots are occupied: the device stalls
+				// until the host has drained the oldest one. The span makes
+				// the back-pressure visible as an explicit region on the
+				// device track.
+				ssp := d.Trace.Start(d.TL, "device.wait.slot").AttrInt("batch", int64(produced))
+				stall := d.TL.WaitUntil(t, hw.CatWaitSlots)
+				ssp.Attr("stall", stall.String()).End()
+				d.Metrics.Counter("device.slot.stalls").Inc()
 			}
 		}
 		b.Ready = d.TL.Now()
+		d.Metrics.Counter("device.batches").Inc()
 		emit(b)
 		produced++
 	}
 
 	p := cmd.Plan
 	devSteps := cmd.SplitAfter
-	if devSteps < 0 {
-		// H0: run every leaf selection on device. Inner tables ship as one
-		// batch each; the driving table streams in chunks.
-		for _, st := range p.Steps {
-			rows, width, err := eng.ScanAccess(st.Right, nil, nil)
-			if err != nil {
-				return err
+	err := func() error {
+		if devSteps < 0 {
+			// H0: run every leaf selection on device. Inner tables ship as one
+			// batch each; the driving table streams in chunks.
+			for _, st := range p.Steps {
+				lsp := d.Trace.Start(d.TL, "device.leaf.scan").Attr("alias", st.Right.Ref.Alias)
+				rows, width, err := eng.ScanAccess(st.Right, nil, nil)
+				lsp.AttrInt("rows", int64(len(rows))).End()
+				if err != nil {
+					return err
+				}
+				d.recordScan(int64(len(rows)), int64(len(rows))*width)
+				emitBatch(Batch{
+					LeafAlias: st.Right.Ref.Alias,
+					Rows:      rows,
+					Bytes:     int64(len(rows)) * width,
+				})
 			}
-			emitBatch(Batch{
-				LeafAlias: st.Right.Ref.Alias,
-				Rows:      rows,
-				Bytes:     int64(len(rows)) * width,
-			})
+			return d.streamDriving(cmd, pl, eng, 0, emitBatch)
 		}
-		return d.streamDriving(cmd, pl, eng, 0, emitBatch)
-	}
 
-	// Hk: pre-build the inner sides of the device joins (hash tables are
-	// built once and probed by every chunk), then stream driving chunks
-	// through the device join pipeline.
-	return d.streamDriving(cmd, pl, eng, devSteps, emitBatch)
+		// Hk: pre-build the inner sides of the device joins (hash tables are
+		// built once and probed by every chunk), then stream driving chunks
+		// through the device join pipeline.
+		return d.streamDriving(cmd, pl, eng, devSteps, emitBatch)
+	}()
+	if err == nil && d.Metrics != nil && eng.Cache != nil {
+		hits, misses, _ := eng.Cache.Stats()
+		d.Metrics.Counter("device.cache.hits").Add(hits)
+		d.Metrics.Counter("device.cache.misses").Add(misses)
+	}
+	return err
+}
+
+// recordScan books device scan volume: rows and bytes read compaction-free
+// from the frozen snapshot views (the NDP premise — this volume never crosses
+// the interconnect).
+func (d *Device) recordScan(rows, bytes int64) {
+	d.Metrics.Counter("device.scan.rows").Add(rows)
+	d.Metrics.Counter("device.scan.bytes").Add(bytes)
 }
 
 // streamDriving partitions the driving table into chunks by primary-key
@@ -279,10 +314,14 @@ func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.E
 	}
 	for ci := 0; ci+1 < len(bounds); ci++ {
 		lo, hi := bounds[ci], bounds[ci+1]
-		rows, _, err := eng.ScanAccess(p.Driving, lo, hi)
+		csp := d.Trace.Start(d.TL, "device.chunk").AttrInt("chunk", int64(ci))
+		rows, rowWidth, err := eng.ScanAccess(p.Driving, lo, hi)
 		if err != nil {
+			csp.End()
 			return err
 		}
+		d.recordScan(int64(len(rows)), int64(len(rows))*rowWidth)
+		csp.AttrInt("rows", int64(len(rows)))
 		group := len(rows)/8 + 1
 		if group > pieceRows {
 			group = pieceRows
@@ -297,9 +336,11 @@ func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.E
 				tuples[i] = exec.Tuple{r}
 			}
 			if err := runFrom(0, tuples); err != nil {
+				csp.End()
 				return err
 			}
 		}
+		csp.End()
 	}
 	flush(true)
 	return nil

@@ -133,7 +133,7 @@ func TestRatesChargeCategories(t *testing.T) {
 	r.Transfer(tl, 1000, 100)
 	r.Deref(tl, 10, 3, 100)
 	for _, cat := range []string{CatEval, CatMemcmp, CatCompareKeys, CatMemcpy,
-		CatHash, CatSeekIndex, CatSeekData, CatGroup, CatSelection, CatTransfer, CatBufferManage} {
+		CatHashBuild, CatHashProbe, CatSeekIndex, CatSeekData, CatGroup, CatSelection, CatTransfer, CatBufferManage} {
 		if tl.Booked(cat) <= 0 {
 			t.Errorf("category %q not charged", cat)
 		}

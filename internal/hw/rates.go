@@ -13,7 +13,8 @@ const (
 	CatFlashLoad    = "flash load"
 	CatMemcpy       = "memcpy"
 	CatEval         = "record evaluation"
-	CatHash         = "hash build/probe"
+	CatHashBuild    = "hash build"
+	CatHashProbe    = "hash probe"
 	CatGroup        = "grouping"
 	CatTransfer     = "result transfer"
 	CatNDPSetup     = "NDP setup (command)"
@@ -159,7 +160,7 @@ func (r Rates) HashBuild(tl *vclock.Timeline, n int) {
 	if n <= 0 {
 		return
 	}
-	tl.Charge(CatHash, vclock.Duration(float64(n)*r.HashBuildNsRec))
+	tl.Charge(CatHashBuild, vclock.Duration(float64(n)*r.HashBuildNsRec))
 }
 
 // HashProbe charges probing n records.
@@ -167,7 +168,7 @@ func (r Rates) HashProbe(tl *vclock.Timeline, n int) {
 	if n <= 0 {
 		return
 	}
-	tl.Charge(CatHash, vclock.Duration(float64(n)*r.HashProbeNsRec))
+	tl.Charge(CatHashProbe, vclock.Duration(float64(n)*r.HashProbeNsRec))
 }
 
 // SeekIndex charges one sparse-index binary search of the given depth.

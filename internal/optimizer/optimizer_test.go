@@ -7,8 +7,10 @@ import (
 	"testing"
 
 	"hybridndp/internal/exec"
+	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/job"
+	"hybridndp/internal/obs"
 	"hybridndp/internal/optimizer"
 )
 
@@ -246,5 +248,53 @@ func TestDecisionsAreDeterministic(t *testing.T) {
 				t.Fatalf("parallel repetition %d diverged", i)
 			}
 		})
+	}
+}
+
+// TestTracesAreDeterministic extends the determinism gate to the
+// observability subsystem: two fresh harnesses at the same seed must trace
+// the same query into byte-identical Chrome trace_event JSON, flame reports
+// and metrics dumps. Any wall-clock leakage or map-ordered emission in
+// internal/obs (or the instrumentation sites in coop/device) shows up here
+// as a flaky diff — the run-time counterpart of the wallclock and maporder
+// analyzers.
+func TestTracesAreDeterministic(t *testing.T) {
+	capture := func() (trace, flame, metrics string) {
+		h, err := harness.NewSeeded(0.01, hw.Cosmos(), job.DefaultSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := h.BindMetrics(obs.NewRegistry())
+		// H1 forces the cooperative hybrid so both timelines carry spans.
+		tr, err := h.TraceQuery("8d", "H1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j, f strings.Builder
+		if err := tr.Trace.WriteChromeTrace(&j, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Trace.WriteFlame(&f); err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Profile.Reconciles() {
+			t.Fatal("profile does not reconcile with the virtual runtime")
+		}
+		h.PublishStorage(reg)
+		return j.String(), f.String(), reg.Dump()
+	}
+	trace1, flame1, metrics1 := capture()
+	trace2, flame2, metrics2 := capture()
+	if trace1 != trace2 {
+		t.Errorf("trace JSON diverged between identically-seeded runs:\n%s\n---\n%s", trace1, trace2)
+	}
+	if flame1 != flame2 {
+		t.Errorf("flame report diverged:\n%s\n---\n%s", flame1, flame2)
+	}
+	if metrics1 != metrics2 {
+		t.Errorf("metrics dump diverged:\n%s\n---\n%s", metrics1, metrics2)
+	}
+	if !strings.Contains(trace1, `"ph":"X"`) {
+		t.Error("trace contains no complete spans")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"hybridndp/internal/hw"
+	"hybridndp/internal/obs"
 )
 
 // Claim is the device-resource footprint of one admitted query: what the
@@ -57,6 +58,14 @@ type Ledger struct {
 
 	hostLanes    int     // immutable after NewLedger
 	hostAssigned float64 // guarded by mu
+
+	// Per-device capacities, immutable after NewLedger; used to derive the
+	// in-use gauges from the free counters.
+	cmdCap  int
+	memCap  int64
+	slotCap int
+
+	metrics *obs.Registry // guarded by mu; nil disables the gauges
 }
 
 // NewLedger sizes the ledger from the hardware model: devices × cmdSlots NDP
@@ -72,7 +81,7 @@ func NewLedger(m hw.Model, devices, cmdSlots, hostLanes int) *Ledger {
 	if hostLanes < 1 {
 		hostLanes = 1
 	}
-	l := &Ledger{hostLanes: hostLanes}
+	l := &Ledger{hostLanes: hostLanes, cmdCap: cmdSlots, memCap: m.DeviceNDPBudget, slotCap: m.SharedSlots}
 	l.cond = sync.NewCond(&l.mu)
 	for i := 0; i < devices; i++ {
 		l.devs = append(l.devs, devState{
@@ -82,6 +91,46 @@ func NewLedger(m hw.Model, devices, cmdSlots, hostLanes int) *Ledger {
 		})
 	}
 	return l
+}
+
+// bindMetrics attaches a registry; the ledger then mirrors its read-only load
+// snapshot — per-device command/memory/buffer-slot occupancy and the
+// assigned-work counters — into gauges on every mutation, replacing the
+// log-style string dumps a caller would otherwise scrape from Stats.
+func (l *Ledger) bindMetrics(m *obs.Registry) {
+	if m == nil {
+		return
+	}
+	l.mu.Lock()
+	l.metrics = m
+	for i := range l.devs {
+		l.publishDevLocked(i)
+	}
+	l.publishHostLocked()
+	l.mu.Unlock()
+}
+
+// publishDevLocked mirrors device i's ledger row into gauges. Caller holds mu.
+func (l *Ledger) publishDevLocked(i int) {
+	if l.metrics == nil {
+		return
+	}
+	d := &l.devs[i]
+	p := fmt.Sprintf("sched.ledger.device.%d.", i)
+	l.metrics.Gauge(p + "cmd_used").SetInt(int64(l.cmdCap - d.cmdFree))
+	l.metrics.Gauge(p + "mem_used_bytes").SetInt(l.memCap - d.memFree)
+	l.metrics.Gauge(p + "slots_used").SetInt(int64(l.slotCap - d.slotFree))
+	l.metrics.Gauge(p + "assigned_ns").Set(d.assigned)
+	l.metrics.Gauge(p + "inflight_ns").Set(d.inflight)
+}
+
+// publishHostLocked mirrors the host pool's assigned work. Caller holds mu.
+func (l *Ledger) publishHostLocked() {
+	if l.metrics == nil {
+		return
+	}
+	l.metrics.Gauge("sched.ledger.host.assigned_ns").Set(l.hostAssigned)
+	l.metrics.Gauge("sched.ledger.host.lanes").SetInt(int64(l.hostLanes))
 }
 
 // tryAcquireLocked picks the least-loaded device that can hold the claim.
@@ -105,6 +154,7 @@ func (l *Ledger) tryAcquireLocked(c Claim) (int, bool) {
 	d.slotFree -= c.BufSlots
 	d.assigned += c.EstDeviceNs
 	d.inflight += c.EstDeviceNs
+	l.publishDevLocked(best)
 	return best, true
 }
 
@@ -155,6 +205,7 @@ func (l *Ledger) Release(dev int, c Claim) {
 	if d.inflight < 0 {
 		d.inflight = 0
 	}
+	l.publishDevLocked(dev)
 	l.cond.Broadcast()
 }
 
@@ -173,12 +224,14 @@ func (l *Ledger) AdjustDevice(dev int, deltaNs float64) {
 	if d.assigned < 0 {
 		d.assigned = 0
 	}
+	l.publishDevLocked(dev)
 }
 
 // AddHost books estimated host-side work (virtual ns) for a dispatched query.
 func (l *Ledger) AddHost(estNs float64) {
 	l.mu.Lock()
 	l.hostAssigned += estNs
+	l.publishHostLocked()
 	l.mu.Unlock()
 }
 
@@ -190,6 +243,7 @@ func (l *Ledger) AdjustHost(deltaNs float64) {
 	if l.hostAssigned < 0 {
 		l.hostAssigned = 0
 	}
+	l.publishHostLocked()
 	l.mu.Unlock()
 }
 

@@ -23,6 +23,7 @@ import (
 	"hybridndp/internal/clock"
 	"hybridndp/internal/coop"
 	"hybridndp/internal/hw"
+	"hybridndp/internal/obs"
 	"hybridndp/internal/optimizer"
 	"hybridndp/internal/query"
 	"hybridndp/internal/vclock"
@@ -77,6 +78,13 @@ type Config struct {
 	// measurement, priority aging, admission timeouts). Nil means the system
 	// clock; tests inject clock.NewFake() to make aging deterministic.
 	Clock clock.Clock
+	// Metrics receives the scheduler's counters, the live ledger gauges
+	// (per-device slot/memory occupancy, queue depths) and the calibration
+	// true-up histograms. Nil disables metric recording.
+	Metrics *obs.Registry
+	// Traces, when set, records one obs.Trace per processed query (named
+	// after the query), fed through the executor's traced run path.
+	Traces *obs.TraceSet
 }
 
 // DefaultConfig returns a serving configuration suitable for the Cosmos
@@ -185,6 +193,7 @@ func New(opt *optimizer.Optimizer, exec *coop.Executor, m hw.Model, cfg Config) 
 		stats:  newCollector(hostLanes, devLanes),
 		hist:   history{m: map[string]*qhist{}},
 	}
+	s.ledger.bindMetrics(cfg.Metrics)
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -222,6 +231,7 @@ func (s *Scheduler) Submit(ctx context.Context, q *query.Query, prio Priority) (
 	s.enqueueLocked(t)
 	s.mu.Unlock()
 	s.stats.submitted()
+	s.cfg.Metrics.Counter("sched.submitted").Inc()
 	return t, nil
 }
 
@@ -239,18 +249,32 @@ func (s *Scheduler) TrySubmit(q *query.Query, prio Priority) (*Ticket, error) {
 	if s.queued >= s.cfg.QueueDepth {
 		s.mu.Unlock()
 		s.stats.rejected()
+		s.cfg.Metrics.Counter("sched.rejected.full").Inc()
 		return nil, ErrQueueFull
 	}
 	s.enqueueLocked(t)
 	s.mu.Unlock()
 	s.stats.submitted()
+	s.cfg.Metrics.Counter("sched.submitted").Inc()
 	return t, nil
 }
 
 func (s *Scheduler) enqueueLocked(t *Ticket) {
 	s.queues[t.priority] = append(s.queues[t.priority], t)
 	s.queued++
+	s.publishQueueLocked(t.priority)
 	s.notEmpty.Signal()
+}
+
+// publishQueueLocked mirrors one class's queue depth (and the total) into
+// gauges. Caller holds s.mu; all calls are no-ops without a registry.
+func (s *Scheduler) publishQueueLocked(p Priority) {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	m.Gauge("sched.queue.depth." + p.String()).SetInt(int64(len(s.queues[p])))
+	m.Gauge("sched.queue.depth").SetInt(int64(s.queued))
 }
 
 // popLocked removes the next ticket: priority order normally, and every
@@ -281,8 +305,12 @@ func (s *Scheduler) popLocked() *Ticket {
 		return nil
 	}
 	t := s.queues[pick][0]
+	if s.popCount%4 == 0 {
+		s.cfg.Metrics.Counter("sched.queue.aged_dispatch").Inc()
+	}
 	s.queues[pick] = s.queues[pick][1:]
 	s.queued--
+	s.publishQueueLocked(Priority(pick))
 	return t
 }
 
@@ -329,19 +357,23 @@ func (t *Ticket) finish(o Outcome) {
 
 // process runs one ticket through decide → degrade → execute → record.
 func (s *Scheduler) process(t *Ticket) {
+	m := s.cfg.Metrics
 	wait := s.cfg.Clock.Since(t.submitted)
 	base := Outcome{Query: t.query.Name, Priority: t.priority, QueueWait: wait, Device: -1}
+	m.Histogram("sched.queue.wait.ns", obs.DefaultDurationBuckets).Observe(float64(wait.Nanoseconds()))
 
 	// Admission timeout / cancelled context: reject instead of executing
 	// work nobody is waiting for.
 	if err := t.ctx.Err(); err != nil {
 		s.stats.rejected()
+		m.Counter("sched.rejected.expired").Inc()
 		base.Err = fmt.Errorf("sched: rejected in queue: %w", err)
 		t.finish(base)
 		return
 	}
 	if s.cfg.QueryTimeout > 0 && wait > s.cfg.QueryTimeout {
 		s.stats.rejected()
+		m.Counter("sched.rejected.expired").Inc()
 		base.Err = fmt.Errorf("sched: queue wait %v exceeded timeout %v", wait, s.cfg.QueryTimeout)
 		t.finish(base)
 		return
@@ -350,7 +382,7 @@ func (s *Scheduler) process(t *Ticket) {
 	d, err := s.opt.Decide(t.query)
 	if err != nil {
 		base.Err = err
-		s.stats.record(&base, 0, 0)
+		s.recordOutcome(&base, 0, 0)
 		t.finish(base)
 		return
 	}
@@ -360,16 +392,25 @@ func (s *Scheduler) process(t *Ticket) {
 	cand, dev, err := s.place(t.ctx, d)
 	if err != nil {
 		base.Err = err
-		s.stats.record(&base, 0, 0)
+		s.recordOutcome(&base, 0, 0)
 		t.finish(base)
 		return
 	}
 	base.Chosen = cand.strat.String()
 	base.Degraded = cand.strat != unloaded
 	base.Device = dev
+	if dev >= 0 {
+		m.Counter("sched.admit.device").Inc()
+	} else {
+		m.Counter("sched.admit.host").Inc()
+	}
+	if base.Degraded {
+		m.Counter("sched.admit.degraded").Inc()
+	}
 
+	tr := s.cfg.Traces.New(t.query.Name)
 	s.ledger.AddHost(cand.hostNs)
-	rep, err := s.exec.Run(d.Plan, cand.strat)
+	rep, err := s.exec.RunTraced(d.Plan, cand.strat, tr)
 	if dev >= 0 {
 		if rep != nil {
 			// True up the estimate with the measured device busy time, so
@@ -378,6 +419,11 @@ func (s *Scheduler) process(t *Ticket) {
 			actual := float64(deviceBusy(rep))
 			s.ledger.AdjustDevice(dev, actual-cand.claim.EstDeviceNs)
 			s.calib.observeDevice(actual, cand.rawDevNs)
+			if cand.rawDevNs > 0 {
+				m.Histogram("sched.trueup.device.ratio", obs.DefaultRatioBuckets).
+					Observe(actual / cand.rawDevNs)
+			}
+			m.Gauge("sched.calib.device.factor").Set(s.calib.deviceFactor())
 		}
 		s.ledger.Release(dev, cand.claim)
 	}
@@ -386,23 +432,46 @@ func (s *Scheduler) process(t *Ticket) {
 		// falling back to the traditional host-only path.
 		base.Chosen = coop.Strategy{Kind: coop.HostNative}.String()
 		base.Degraded = true
-		rep, err = s.exec.Run(d.Plan, coop.Strategy{Kind: coop.HostNative})
+		m.Counter("sched.fallback.host").Inc()
+		rep, err = s.exec.RunTraced(d.Plan, coop.Strategy{Kind: coop.HostNative}, tr)
 	}
 	if err != nil {
 		base.Err = err
-		s.stats.record(&base, 0, 0)
+		s.recordOutcome(&base, 0, 0)
 		t.finish(base)
 		return
 	}
 	s.ledger.AdjustHost(float64(hostBusy(rep)) - cand.hostNs)
+	if cand.rawHostNs > 0 {
+		m.Histogram("sched.trueup.host.ratio", obs.DefaultRatioBuckets).
+			Observe(float64(hostBusy(rep)) / cand.rawHostNs)
+	}
 	// Remember this query's per-pool actual/estimate ratios for repeats.
 	s.hist.observe(queryKey(d.Plan),
 		float64(deviceBusy(rep)), cand.rawDevNs,
 		float64(hostBusy(rep)), cand.rawHostNs)
 	base.Elapsed = rep.Elapsed
 	base.Report = rep
-	s.stats.record(&base, hostBusy(rep), deviceBusy(rep))
+	s.recordOutcome(&base, hostBusy(rep), deviceBusy(rep))
 	t.finish(base)
+}
+
+// recordOutcome books a terminal outcome into the stats collector and the
+// metrics registry (completion/error counters per strategy and priority).
+func (s *Scheduler) recordOutcome(o *Outcome, hostBusy, devBusy vclock.Duration) {
+	s.stats.record(o, hostBusy, devBusy)
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	if o.Err != nil {
+		m.Counter("sched.errors").Inc()
+		return
+	}
+	m.Counter("sched.completed").Inc()
+	m.Counter("sched.completed." + o.Priority.String()).Inc()
+	m.Counter("sched.strategy." + o.Chosen).Inc()
+	m.Histogram("sched.elapsed.ns", obs.DefaultDurationBuckets).Observe(float64(o.Elapsed))
 }
 
 // place chooses the strategy under the configured policy and acquires the
@@ -473,6 +542,7 @@ func (s *Scheduler) place(ctx context.Context, d *optimizer.Decision) (candidate
 			// Unreachable: candidates always contains host-native.
 			return candidate{strat: coop.Strategy{Kind: coop.HostNative}, hostNs: d.Costs.HostTotal, rawHostNs: d.Costs.HostTotal}, -1, nil
 		}
+		s.cfg.Metrics.Counter("sched.admit.heldout").Inc()
 		if err := s.ledger.AwaitChange(ctx); err != nil {
 			// The query's context expired while holding out for a device
 			// slot: run it on the host rather than rejecting admitted work.

@@ -38,8 +38,10 @@ type Stats struct {
 	Rejected  int64 // expired in queue (ctx / timeout) or refused at submit
 	Errors    int64
 
+	// ByStrategy counts completions per executed strategy. Per-priority
+	// completion counts live in the obs registry ("sched.completed.<class>"),
+	// not here — the snapshot keeps only what the policies consume.
 	ByStrategy map[string]int64
-	ByPriority map[string]int64
 
 	QueueWaitMax  time.Duration
 	QueueWaitMean time.Duration
@@ -134,7 +136,6 @@ type collector struct {
 func newCollector(hostLanes, devLanes int) *collector {
 	return &collector{st: Stats{
 		ByStrategy:             map[string]int64{},
-		ByPriority:             map[string]int64{},
 		QueueWaitMaxByPriority: map[string]time.Duration{},
 		HostLanes:              hostLanes,
 		DevLanes:               devLanes,
@@ -167,7 +168,6 @@ func (c *collector) record(o *Outcome, hostBusy, devBusy vclock.Duration) {
 	}
 	st.ByStrategy[o.Chosen]++
 	prio := o.Priority.String()
-	st.ByPriority[prio]++
 	if o.QueueWait > st.QueueWaitMax {
 		st.QueueWaitMax = o.QueueWait
 	}
@@ -188,7 +188,6 @@ func (c *collector) snapshot() Stats {
 	defer c.mu.Unlock()
 	out := c.st
 	out.ByStrategy = copyMap(c.st.ByStrategy)
-	out.ByPriority = copyMap(c.st.ByPriority)
 	out.QueueWaitMaxByPriority = copyMap(c.st.QueueWaitMaxByPriority)
 	if c.queueWaitN > 0 {
 		out.QueueWaitMean = c.queueWaitSum / time.Duration(c.queueWaitN)
