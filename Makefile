@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench serve trace-smoke
+.PHONY: all build vet lint test race bench bench-json serve trace-smoke
 
 all: build vet lint test
 
@@ -28,6 +28,14 @@ race:
 # simulator). HYBRIDNDP_SCALE overrides the dataset scale.
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# Wall-clock perf trajectory: snapshot ns/op, B/op, allocs/op of the hot-path
+# microbenchmarks and the full JOB sweep into BENCH_PR4.json (diffable across
+# PRs; non-gating CI artifact). The exec microbenchmarks run 5 iterations for
+# stable allocs/op; the sweep runs once — it is the wall-clock headline.
+bench-json:
+	( $(GO) test -run '^$$' -bench 'ScanFilter|HashJoin|JoinStep|GroupAggregate' -benchmem -benchtime=5x ./internal/exec/ ; \
+	  $(GO) test -run '^$$' -bench 'Fig12JOBSweep' -benchmem -benchtime=1x . ) | $(GO) run ./cmd/benchjson -o BENCH_PR4.json
 
 # The serving sweep: policy × concurrency throughput table.
 serve:

@@ -62,6 +62,7 @@ func report(b *testing.B, label string, msVal float64) {
 // Q8.c under host-only, H0, the best interior split, and full NDP.
 func BenchmarkFig2IntroQ8c(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		msr, err := h.Fig2(io.Discard)
 		if err != nil {
@@ -79,6 +80,7 @@ func BenchmarkFig2IntroQ8c(b *testing.B) {
 // BLK, NATIVE, NDP and hybridNDP stacks.
 func BenchmarkFig11Stacks(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := h.Fig11(io.Discard)
 		if err != nil {
@@ -96,6 +98,7 @@ func BenchmarkFig11Stacks(b *testing.B) {
 // intermediate-result volume vs execution time per split of Q17.b.
 func BenchmarkTable3IntermediateQ17b(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := h.Table3(io.Discard)
 		if err != nil {
@@ -114,6 +117,7 @@ func BenchmarkTable3IntermediateQ17b(b *testing.B) {
 // roughly two minutes per iteration at the default scale.
 func BenchmarkFig12JOBSweep(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := h.Fig12(io.Discard)
 		if err != nil {
@@ -135,10 +139,25 @@ func BenchmarkFig12JOBSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkFig12JOBSweepParallel is BenchmarkFig12JOBSweep with the
+// deterministic parallel runner enabled (4 workers): identical virtual-time
+// results, wall-clock divided across the worker pool.
+func BenchmarkFig12JOBSweepParallel(b *testing.B) {
+	hp := *benchHarness(b) // shallow copy so the shared harness stays sequential
+	hp.Workers = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := hp.Fig12(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig13DecisionQuality regenerates Exp 3: optimizer decisions
 // against the measured oracle. Slow — it re-runs the sweep.
 func BenchmarkFig13DecisionQuality(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := h.Fig13(io.Discard)
 		if err != nil {
@@ -164,6 +183,7 @@ func BenchmarkFig13DecisionQuality(b *testing.B) {
 // join on non-indexed columns under BLK, NATIVE and NDP.
 func BenchmarkFig14NonIndexedJoin(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := h.Fig14(io.Discard)
 		if err != nil {
@@ -181,6 +201,7 @@ func BenchmarkFig14NonIndexedJoin(b *testing.B) {
 // the host's indexed plan.
 func BenchmarkFig15InSituIndex(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := h.Fig15(io.Discard)
 		if err != nil {
@@ -198,6 +219,7 @@ func BenchmarkFig15InSituIndex(b *testing.B) {
 // H0..H6 and full NDP.
 func BenchmarkFig16SplitSweep(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		msr, err := h.Fig16(io.Discard)
 		if err != nil {
@@ -215,6 +237,7 @@ func BenchmarkFig16SplitSweep(b *testing.B) {
 // batch timeline and host/device breakdowns.
 func BenchmarkFig17Table4Timeline(b *testing.B) {
 	h := benchHarness(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := h.Fig17Table4(io.Discard)
 		if err != nil {
@@ -231,6 +254,7 @@ func BenchmarkFig17Table4Timeline(b *testing.B) {
 // BenchmarkProfilerCalibration runs the hardware profiling benchmark and
 // reports the CoreMark-derived compute ratio (paper: 92343/2964 ≈ 31×).
 func BenchmarkProfilerCalibration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p := hw.Profiler{Base: hw.Cosmos(), Quick: true}
 		res := p.Run()
@@ -250,6 +274,7 @@ func BenchmarkAblationComputeRatio(b *testing.B) {
 	q := job.QueryByName("8c")
 	for _, coreMark := range []float64{1000, 2964, 12000, 46000} {
 		b.Run(fmt.Sprintf("devCoreMark=%0.f", coreMark), func(b *testing.B) {
+			b.ReportAllocs()
 			m := h.DS.Model
 			m.DeviceCoreMark = coreMark
 			hv := h.WithModel(m)
@@ -278,6 +303,7 @@ func BenchmarkAblationPCIe(b *testing.B) {
 	q := job.QueryByName("8c")
 	for _, gen := range []int{1, 2, 3, 4} {
 		b.Run(fmt.Sprintf("pcie-gen%d", gen), func(b *testing.B) {
+			b.ReportAllocs()
 			m := h.DS.Model
 			m.PCIeVersion = gen
 			hv := h.WithModel(m)
@@ -311,6 +337,7 @@ func BenchmarkAblationCacheFormat(b *testing.B) {
 		fmt  coop.CacheFormat
 	}{{"auto", coop.CacheAuto}, {"row", coop.CacheRow}, {"pointer", coop.CachePointer}} {
 		b.Run(cf.name, func(b *testing.B) {
+			b.ReportAllocs()
 			old := h.Exec.CacheFormat
 			h.Exec.CacheFormat = cf.fmt
 			defer func() { h.Exec.CacheFormat = old }()
@@ -337,6 +364,7 @@ func BenchmarkAblationSlots(b *testing.B) {
 	q := job.QueryByName("17b")
 	for _, slots := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("slots=%d", slots), func(b *testing.B) {
+			b.ReportAllocs()
 			m := h.DS.Model
 			m.SharedSlots = slots
 			hv := h.WithModel(m)
@@ -371,6 +399,7 @@ func BenchmarkAblationSplitTarget(b *testing.B) {
 	queries := []string{"1a", "8c", "8d", "17b", "32b", "6f", "14c"}
 	for _, mode := range []string{"cpu+mem", "cpu-only"} {
 		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
 			h.Opt.Est.TargetCPUOnly = mode == "cpu-only"
 			defer func() { h.Opt.Est.TargetCPUOnly = false }()
 			for i := 0; i < b.N; i++ {
@@ -414,6 +443,7 @@ func BenchmarkMultiDevice(b *testing.B) {
 	}
 	for _, n := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("devices=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				mr, err := h.Exec.RunHybridMulti(p, coop.Strategy{Kind: coop.Hybrid, Split: 1}, n)
 				if err != nil {
@@ -466,6 +496,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 	for _, base := range []sched.Policy{sched.ForceHost, sched.ForceNDP} {
 		b.Run("policy="+base.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tp := serve(b, base, 16)
 				if i == 0 {
@@ -476,6 +507,7 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	}
 	for _, conc := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("policy=adaptive/conc=%d", conc), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				tp := serve(b, sched.Adaptive, conc)
 				if i == 0 {
@@ -536,6 +568,7 @@ func BenchmarkTracerOverhead(b *testing.B) {
 func BenchmarkAblationFTLCache(b *testing.B) {
 	for _, cacheMB := range []int64{1, 2, 4, 16} {
 		b.Run(fmt.Sprintf("mapcache=%dMB", cacheMB), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := ftl.CalibrateBlockOverhead(ftl.DefaultGeometry(), cacheMB<<20, 42)
 				if err != nil {
@@ -556,6 +589,7 @@ func BenchmarkAblationLeanFactor(b *testing.B) {
 	h := benchHarness(b)
 	for _, lean := range []float64{2, 5, 10.7, 20} {
 		b.Run(fmt.Sprintf("lean=%.1f", lean), func(b *testing.B) {
+			b.ReportAllocs()
 			m := h.DS.Model
 			// Emulate the lean sweep by scaling the device CoreMark so that
 			// DataPathRatio/NDPLeanFactor matches the target penalty.

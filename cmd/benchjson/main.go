@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// stable JSON artifact mapping benchmark name → ns/op, B/op, allocs/op. It is
+// the backing of `make bench-json`, which snapshots the wall-clock perf
+// trajectory (BENCH_PR4.json) so allocation regressions on the hot paths are
+// diffable across PRs. Only the three standard metrics are captured; custom
+// virtual-time metrics (…-ms) are deliberately ignored — virtual time is
+// tracked by the experiments themselves, this artifact tracks the simulator's
+// own speed.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's captured metrics.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// cpuSuffix strips the trailing GOMAXPROCS suffix (-8) benchmarks carry, so
+// artifacts from machines with different core counts stay comparable.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(lines *bufio.Scanner) map[string]Entry {
+	out := map[string]Entry{}
+	for lines.Scan() {
+		f := strings.Fields(lines.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(f[0], "")
+		e := out[name]
+		// f[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			}
+		}
+		out[name] = e
+	}
+	return out
+}
+
+func main() {
+	outPath := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	entries := parse(sc)
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	// Deterministic artifact: sorted keys, stable indentation.
+	names := make([]string, 0, len(entries))
+	for n := range entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, n := range names {
+		enc, err := json.Marshal(entries[n])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "  %q: %s", n, enc)
+		if i < len(names)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("}\n")
+
+	w := os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := w.WriteString(b.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -39,6 +39,8 @@ func main() {
 			"override the device's shared result-buffer slot count (0 = model default); small values make slot back-pressure visible in traces")
 		slotKB = flag.Int("slotkb", 0,
 			"override the shared result-buffer slot size in KiB (0 = model default)")
+		workers = flag.Int("workers", 1,
+			"wall-clock worker goroutines for the sweep experiments and -plans; results are byte-identical to -workers 1")
 	)
 	flag.Parse()
 
@@ -119,6 +121,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "jobbench:", err)
 			os.Exit(1)
 		}
+		h.Workers = *workers
 		if err := h.Plans(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "jobbench:", err)
 			os.Exit(1)
@@ -132,6 +135,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("loaded in %v (%d tables)\n", time.Since(start).Round(time.Millisecond), len(h.DS.Cat.Tables()))
+	h.Workers = *workers
 	if *metrics {
 		h.BindMetrics(obs.NewRegistry())
 	}

@@ -223,30 +223,52 @@ func (x *Executor) recordRun(r *Report) {
 	m.Counter("coop.stall.device.slots.ns").Add(int64(r.DeviceWaitSlots()))
 }
 
-// recordCache publishes a host block cache's hit/miss counts (no-op on a nil
-// registry).
-func (x *Executor) recordCache(c *lsm.BlockCache) {
+// recordStorage publishes a host engine's storage-path observability: block
+// cache hit/miss counts plus the derived hit rate, and Bloom-filter probe
+// outcomes (no-op on a nil registry). Counters only ever accumulate virtual
+// simulation outcomes, so the dump stays deterministic.
+func (x *Executor) recordStorage(eng *exec.Engine) {
 	m := x.Metrics
-	if m == nil || c == nil {
+	if m == nil || eng == nil {
 		return
 	}
-	hits, misses, _ := c.Stats()
-	m.Counter("coop.host.cache.hits").Add(hits)
-	m.Counter("coop.host.cache.misses").Add(misses)
+	if eng.Cache != nil {
+		hits, misses, _ := eng.Cache.Stats()
+		m.Counter("coop.host.cache.hits").Add(hits)
+		m.Counter("coop.host.cache.misses").Add(misses)
+		h := m.Counter("coop.host.cache.hits").Value()
+		n := h + m.Counter("coop.host.cache.misses").Value()
+		if n > 0 {
+			m.Gauge("coop.host.cache.hitrate").Set(float64(h) / float64(n))
+		}
+	}
+	if neg, pos := eng.Bloom.Counts(); neg+pos > 0 {
+		m.Counter("coop.host.bloom.negative").Add(neg)
+		m.Counter("coop.host.bloom.positive").Add(pos)
+	}
+}
+
+// instrument attaches per-run Bloom-filter stats to a host engine when a
+// metrics registry is bound.
+func (x *Executor) instrument(eng *exec.Engine) *exec.Engine {
+	if x.Metrics != nil {
+		eng.Bloom = &lsm.BloomStats{}
+	}
+	return eng
 }
 
 // runHostOnly executes the whole plan on the host stack. All table data
 // crosses the interconnect as part of the host flash path.
 func (x *Executor) runHostOnly(p *exec.Plan, s Strategy, rates hw.Rates, tr *obs.Trace) (*Report, error) {
 	tl := vclock.NewTimeline("host")
-	eng := &exec.Engine{Cat: x.Cat, TL: tl, R: rates, Cache: x.hostCache()}
+	eng := x.instrument(&exec.Engine{Cat: x.Cat, TL: tl, R: rates, Cache: x.hostCache()})
 	root := tr.Start(tl, "query:"+p.Query.Name).Attr("strategy", s.String())
 	res, err := eng.RunPlan(p)
 	root.End()
 	if err != nil {
 		return nil, err
 	}
-	x.recordCache(eng.Cache)
+	x.recordStorage(eng)
 	return &Report{
 		Query:       p.Query.Name,
 		Strategy:    s,
@@ -401,7 +423,7 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, 
 
 	hostTL := vclock.NewTimeline("host")
 	hostR := hw.HostRates(x.Model)
-	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()}
+	hostEng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()})
 
 	// The two engines share one pipeline: the device owns the inner state of
 	// its join steps, the host owns the rest.
@@ -534,7 +556,7 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, 
 	if err != nil {
 		return nil, err
 	}
-	x.recordCache(hostEng.Cache)
+	x.recordStorage(hostEng)
 	report.Result = res
 	report.Elapsed = vclock.Duration(hostTL.Now())
 	report.DeviceElapsed = vclock.Duration(dev.TL.Now())

@@ -202,6 +202,10 @@ func (d *Device) Run(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 		hits, misses, _ := eng.Cache.Stats()
 		d.Metrics.Counter("device.cache.hits").Add(hits)
 		d.Metrics.Counter("device.cache.misses").Add(misses)
+		h := d.Metrics.Counter("device.cache.hits").Value()
+		if n := h + d.Metrics.Counter("device.cache.misses").Value(); n > 0 {
+			d.Metrics.Gauge("device.cache.hitrate").Set(float64(h) / float64(n))
+		}
 	}
 	return err
 }
@@ -331,10 +335,7 @@ func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.E
 			if end > len(rows) {
 				end = len(rows)
 			}
-			tuples := make([]exec.Tuple, end-off)
-			for i, r := range rows[off:end] {
-				tuples[i] = exec.Tuple{r}
-			}
+			tuples := pl.MakeTuples(rows[off:end])
 			if err := runFrom(0, tuples); err != nil {
 				csp.End()
 				return err

@@ -19,6 +19,9 @@ type Engine struct {
 	// Cache is the engine's block cache (RocksDB block cache on the host,
 	// data-block buffer on the device); nil disables caching.
 	Cache *lsm.BlockCache
+	// Bloom, when set, accumulates Bloom-filter probe outcomes for the
+	// metrics registry (host engines only; the device never probes filters).
+	Bloom *lsm.BloomStats
 	// Views maps table names to frozen read views (update-aware NDP): the
 	// device engine resolves primary-data reads against the snapshot that
 	// accompanied the invocation, so host-side writes issued after the
@@ -35,7 +38,9 @@ type Engine struct {
 }
 
 // Access returns the engine's LSM access context.
-func (e *Engine) Access() lsm.Access { return lsm.Access{TL: e.TL, R: e.R, Cache: e.Cache} }
+func (e *Engine) Access() lsm.Access {
+	return lsm.Access{TL: e.TL, R: e.R, Cache: e.Cache, Bloom: e.Bloom}
+}
 
 // viewOf returns the frozen view for a table, if the engine reads through a
 // snapshot.
@@ -69,10 +74,7 @@ func (e *Engine) RunPlan(p *Plan) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	tuples := make([]Tuple, len(rows))
-	for i, r := range rows {
-		tuples[i] = Tuple{r}
-	}
+	tuples := pl.MakeTuples(rows)
 	for si := range p.Steps {
 		tuples, err = e.JoinStep(pl, si, tuples)
 		if err != nil {
@@ -90,6 +92,15 @@ type Pipeline struct {
 	Shapes []*Shape // Shapes[i] = shape after i join steps
 	Widths []int64  // projected bytes per tuple position
 	inner  []*innerState
+
+	// conds holds per-step join conditions with verified column indices (the
+	// plan's conds are not mutated; hand-built plans may carry unresolved
+	// indices).
+	conds [][]BoundCond
+	// keyBuf is the reusable scratch buffer for join-key encoding.
+	keyBuf []byte
+	// arena backs tuple extension storage (see tupleArena).
+	arena tupleArena
 }
 
 // StartPipeline resolves tables and builds shapes for the plan.
@@ -114,7 +125,40 @@ func (e *Engine) StartPipeline(p *Plan) (*Pipeline, error) {
 		pl.Shapes = append(pl.Shapes, sh)
 		pl.Widths = append(pl.Widths, projWidth(tr.Schema, s.Right.Proj))
 	}
+	pl.conds = make([][]BoundCond, len(p.Steps))
+	for si, s := range p.Steps {
+		cs := make([]BoundCond, len(s.Conds))
+		copy(cs, s.Conds)
+		leftSh := pl.Shapes[si]
+		rightSchema := pl.Shapes[si+1].Schemas[len(pl.Shapes[si+1].Schemas)-1]
+		for i := range cs {
+			c := &cs[i]
+			if c.LeftPos >= 0 && c.LeftPos < len(leftSh.Schemas) {
+				ls := leftSh.Schemas[c.LeftPos]
+				if c.LeftColIdx < 0 || c.LeftColIdx >= len(ls.Columns) || ls.Columns[c.LeftColIdx].Name != c.LeftCol {
+					c.LeftColIdx = ls.ColumnIndex(c.LeftCol)
+				}
+			}
+			if c.RightColIdx < 0 || c.RightColIdx >= len(rightSchema.Columns) || rightSchema.Columns[c.RightColIdx].Name != c.RightCol {
+				c.RightColIdx = rightSchema.ColumnIndex(c.RightCol)
+			}
+		}
+		pl.conds[si] = cs
+	}
 	return pl, nil
+}
+
+// MakeTuples materializes scan rows as single-position driving tuples backed
+// by the pipeline's arena (one block allocation per tupleArenaBlock rows,
+// instead of one slice header per row).
+func (pl *Pipeline) MakeTuples(rows [][]byte) []Tuple {
+	tuples := make([]Tuple, len(rows))
+	for i, r := range rows {
+		t := pl.arena.alloc(1)
+		t[0] = r
+		tuples[i] = t
+	}
+	return tuples
 }
 
 // FinalShape returns the shape after all join steps.

@@ -351,6 +351,49 @@ func TestGroupBy(t *testing.T) {
 	}
 }
 
+// TestGroupAggregateOrderPreserved pins the group output order to the first
+// occurrence of each key in the join output: the open-addressing group table
+// must reproduce the insertion order the string-keyed map maintained via its
+// explicit order slice. Customers scan in PK order and regions cycle
+// south/east/west/north from id 1, so that is the only acceptable output
+// order.
+func TestGroupAggregateOrderPreserved(t *testing.T) {
+	cat := fixture(t, 40, 2000)
+	q := &query.Query{
+		Name:    "grouped-order",
+		Tables:  []query.TableRef{{Alias: "c", Table: "customers"}, {Alias: "o", Table: "orders"}},
+		Joins:   []query.JoinCond{{LeftAlias: "o", LeftCol: "customer_id", RightAlias: "c", RightCol: "id"}},
+		GroupBy: []query.ColRef{{Alias: "c", Col: "region"}},
+		Aggregates: []query.Aggregate{
+			{Func: query.Count, Star: true, As: "n"},
+		},
+	}
+	p := &Plan{
+		Query:   q,
+		Driving: AccessPath{Ref: q.Tables[0], EstSel: 1},
+		Steps: []JoinStep{{
+			Right: AccessPath{Ref: q.Tables[1], EstSel: 1},
+			Conds: []BoundCond{{LeftPos: 0, LeftCol: "id", RightCol: "customer_id"}},
+			Type:  BNL,
+		}},
+		GroupBy:    q.GroupBy,
+		Aggregates: q.Aggregates,
+	}
+	res, err := hostEngine(cat).RunPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"south", "east", "west", "north"}
+	if res.RowCount != int64(len(want)) {
+		t.Fatalf("groups = %d, want %d", res.RowCount, len(want))
+	}
+	for i, w := range want {
+		if got := res.Rows[i][0].Str; got != w {
+			t.Fatalf("group %d = %q, want %q (first-occurrence order violated)", i, got, w)
+		}
+	}
+}
+
 func TestEmptyAggregateReturnsNullRow(t *testing.T) {
 	cat := fixture(t, 40, 200)
 	q := joinQuery()
@@ -571,6 +614,7 @@ func BenchmarkScanFilter(b *testing.B) {
 		Ref:    query.TableRef{Alias: "o", Table: "orders"},
 		Filter: expr.Cmp{Col: "amount", Op: expr.Gt, Val: table.IntVal(50)},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e := hostEngine(cat)
@@ -584,10 +628,100 @@ func BenchmarkHashJoin(b *testing.B) {
 	cat := fixture(b, 100, 20000)
 	q := joinQuery()
 	p := planFor(q, BNL, false, "")
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hostEngine(cat).RunPlan(p); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoinStep isolates the buffered-join hot path: hash-build the inner
+// side and probe every outer tuple, without the scan of the outer table. The
+// allocs/op of this benchmark is the perf-trajectory gate for the
+// zero-allocation join path (BENCH_PR4.json).
+func BenchmarkJoinStep(b *testing.B) {
+	cat := fixture(b, 100, 20000)
+	q := joinQuery()
+	p := planFor(q, BNL, false, "")
+	e := hostEngine(cat)
+	rows, _, err := e.ScanAccess(p.Driving, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := hostEngine(cat)
+		pl, err := e.StartPipeline(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuples := pl.MakeTuples(rows)
+		out, err := e.JoinStep(pl, 0, tuples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("join produced nothing")
+		}
+	}
+}
+
+// BenchmarkGroupAggregate isolates hash grouping with aggregates over an
+// already-joined tuple set (the groupAggregate hot path).
+func BenchmarkGroupAggregate(b *testing.B) {
+	cat := fixture(b, 100, 20000)
+	q := &query.Query{
+		Name:    "grouped",
+		Tables:  []query.TableRef{{Alias: "c", Table: "customers"}, {Alias: "o", Table: "orders"}},
+		Joins:   []query.JoinCond{{LeftAlias: "o", LeftCol: "customer_id", RightAlias: "c", RightCol: "id"}},
+		GroupBy: []query.ColRef{{Alias: "c", Col: "region"}},
+		Aggregates: []query.Aggregate{
+			{Func: query.Count, Star: true, As: "n"},
+			{Func: query.Sum, Arg: query.ColRef{Alias: "o", Col: "amount"}, As: "s"},
+			{Func: query.Min, Arg: query.ColRef{Alias: "o", Col: "amount"}, As: "lo"},
+		},
+	}
+	p := &Plan{
+		Query:   q,
+		Driving: AccessPath{Ref: q.Tables[0], EstSel: 1},
+		Steps: []JoinStep{{
+			Right: AccessPath{Ref: q.Tables[1], EstSel: 1},
+			Conds: []BoundCond{{LeftPos: 0, LeftCol: "id", RightCol: "customer_id"}},
+			Type:  BNL,
+		}},
+		GroupBy:    q.GroupBy,
+		Aggregates: q.Aggregates,
+	}
+	e := hostEngine(cat)
+	pl, err := e.StartPipeline(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, _, err := e.ScanAccess(p.Driving, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tuples, err := e.JoinStep(pl, 0, pl.MakeTuples(rows))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e2 := hostEngine(cat)
+		pl2, err := e2.StartPipeline(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := e2.Finalize(pl2, tuples)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.RowCount != 4 {
+			b.Fatalf("groups = %d", res.RowCount)
 		}
 	}
 }

@@ -98,7 +98,7 @@ func (e *Engine) cacheWidth(rowWidth int64) int64 {
 // block boundary — the block-nested-loop rescan behaviour.
 type innerState struct {
 	rows   [][]byte
-	hash   map[string][]int
+	tab    *keyTab
 	built  bool
 	seeded bool
 	width  int64
@@ -108,41 +108,33 @@ type innerState struct {
 	chargedBlocks int64
 }
 
-// joinKeyOfTuple extracts the composite join key from the left tuple; ok is
-// false when any component is NULL (SQL equality never matches NULL).
-func joinKeyOfTuple(sh *Shape, tu Tuple, conds []BoundCond) (string, int64, bool) {
-	var key []byte
-	var bytes int64
+// appendTupleKey appends the composite join key of the left tuple to buf
+// using plan-time-bound column indices; ok is false when any component is
+// NULL (SQL equality never matches NULL). Partial appends from earlier
+// conditions are the caller's to discard (it resets buf per tuple).
+func appendTupleKey(buf []byte, sh *Shape, tu Tuple, conds []BoundCond) ([]byte, bool) {
 	for _, c := range conds {
-		v := tu.Record(sh, c.LeftPos).GetByName(c.LeftCol)
-		if v.Null {
-			return "", 0, false
+		var ok bool
+		buf, ok = tu.Record(sh, c.LeftPos).AppendColKey(buf, c.LeftColIdx)
+		if !ok {
+			return buf, false
 		}
-		key = appendValueKey(key, v)
 	}
-	bytes = int64(len(key))
-	return string(key), bytes, true
+	return buf, true
 }
 
-// joinKeyOfRow extracts the composite key from a right-side record.
-func joinKeyOfRow(rec table.Record, conds []BoundCond) (string, bool) {
-	var key []byte
+// appendRowKey appends the composite key of a right-side record to buf.
+func appendRowKey(buf []byte, rec table.Record, conds []BoundCond) ([]byte, bool) {
 	for _, c := range conds {
-		v := rec.GetByName(c.RightCol)
-		if v.Null {
-			return "", false
+		var ok bool
+		buf, ok = rec.AppendColKey(buf, c.RightColIdx)
+		if !ok {
+			return buf, false
 		}
-		key = appendValueKey(key, v)
 	}
-	return string(key), true
+	return buf, true
 }
 
-func appendValueKey(key []byte, v table.Value) []byte {
-	if v.IsI {
-		return append(key, byte('i'), byte(v.Int>>24), byte(v.Int>>16), byte(v.Int>>8), byte(v.Int), 0)
-	}
-	return append(append(append(key, 's'), v.Str...), 0)
-}
 
 // JoinStep executes join step si of the pipeline over the given left tuples
 // and returns the extended tuples. Inner-side state persists in the pipeline
@@ -189,18 +181,25 @@ func (e *Engine) joinBuffered(pl *Pipeline, si int, leftShape *Shape, left []Tup
 	var out []Tuple
 	var cmpBytes int64
 	cmps := 0
+	conds := pl.conds[si]
+	key := pl.keyBuf[:0]
 	for _, tu := range left {
-		k, kb, ok := joinKeyOfTuple(leftShape, tu, step.Conds)
+		key = key[:0]
+		var ok bool
+		key, ok = appendTupleKey(key, leftShape, tu, conds)
 		if !ok {
 			continue
 		}
-		cands := inner.hash[k]
-		cmps += len(cands)
-		cmpBytes += kb * int64(len(cands))
-		for _, ri := range cands {
-			out = append(out, extendTuple(tu, inner.rows[ri]))
+		if ei := inner.tab.find(fnv1a(key), key); ei >= 0 {
+			e := &inner.tab.entries[ei]
+			cmps += int(e.n)
+			cmpBytes += int64(len(key)) * int64(e.n)
+			for r := e.head; r >= 0; r = inner.tab.next[r] {
+				out = append(out, pl.extendTuple(tu, inner.rows[r]))
+			}
 		}
 	}
+	pl.keyBuf = key[:0]
 	if e.TL != nil {
 		e.R.HashProbe(e.TL, len(left))
 		e.R.Memcmp(e.TL, cmpBytes, cmps)
@@ -247,7 +246,7 @@ func (e *Engine) BuildInner(pl *Pipeline, si int) (*innerState, error) {
 	}
 	snapAfter := accountSnapshot(e)
 	inner.scanDelta = accountDelta(snapBefore, snapAfter)
-	e.hashInner(inner, rows, width, step)
+	e.hashInner(inner, rows, width, step, pl.conds[si])
 	if e.TL != nil && step.Type == GHJ {
 		// Grace hash join additionally partitions both sides through flash.
 		e.R.Memcpy(e.TL, 2*int64(len(rows))*width)
@@ -269,7 +268,7 @@ func (e *Engine) SeedInner(pl *Pipeline, si int, rows [][]byte) error {
 	if err != nil {
 		return err
 	}
-	e.hashInner(inner, rows, projWidth(rt.Schema, step.Right.Proj), step)
+	e.hashInner(inner, rows, projWidth(rt.Schema, step.Right.Proj), step, pl.conds[si])
 	inner.seeded = true
 	return nil
 }
@@ -289,13 +288,18 @@ func (e *Engine) AppendInner(pl *Pipeline, si int, rows [][]byte) error {
 	}
 	base := len(inner.rows)
 	inner.rows = append(inner.rows, rows...)
+	conds := pl.conds[si]
+	key := pl.keyBuf[:0]
 	for i, r := range rows {
-		k, ok := joinKeyOfRow(table.Record{Schema: rt.Schema, Data: r}, step.Conds)
+		key = key[:0]
+		var ok bool
+		key, ok = appendRowKey(key, table.Record{Schema: rt.Schema, Data: r}, conds)
 		if !ok {
 			continue
 		}
-		inner.hash[k] = append(inner.hash[k], base+i)
+		inner.tab.addRow(fnv1a(key), key, base+i)
 	}
+	pl.keyBuf = key[:0]
 	if e.TL != nil {
 		e.R.HashBuild(e.TL, len(rows))
 		e.R.Memcpy(e.TL, int64(len(rows))*e.cacheWidth(inner.width))
@@ -304,17 +308,20 @@ func (e *Engine) AppendInner(pl *Pipeline, si int, rows [][]byte) error {
 }
 
 // hashInner builds the in-buffer hash table over the inner rows.
-func (e *Engine) hashInner(inner *innerState, rows [][]byte, width int64, step JoinStep) {
+func (e *Engine) hashInner(inner *innerState, rows [][]byte, width int64, step JoinStep, conds []BoundCond) {
 	rt, _ := e.Cat.Table(step.Right.Ref.Table)
 	inner.rows = rows
 	inner.width = width
-	inner.hash = make(map[string][]int, len(rows))
+	inner.tab = newKeyTab(len(rows))
+	var key []byte
 	for i, r := range rows {
-		k, ok := joinKeyOfRow(table.Record{Schema: rt.Schema, Data: r}, step.Conds)
+		key = key[:0]
+		var ok bool
+		key, ok = appendRowKey(key, table.Record{Schema: rt.Schema, Data: r}, conds)
 		if !ok {
 			continue
 		}
-		inner.hash[k] = append(inner.hash[k], i)
+		inner.tab.addRow(fnv1a(key), key, i)
 	}
 	if e.TL != nil {
 		e.R.HashBuild(e.TL, len(rows))
@@ -365,21 +372,23 @@ func (e *Engine) joinIndexed(pl *Pipeline, si int, leftShape *Shape, left []Tupl
 		return nil, fmt.Errorf("exec: BNLI join without conditions")
 	}
 	ac := e.Access()
-	primary := step.Conds[0]
-	residual := step.Conds[1:]
+	conds := pl.conds[si]
+	primary := conds[0]
+	residual := conds[1:]
 	terms := 0
 	if step.Right.Filter != nil {
 		terms = step.Right.Filter.Terms()
 	}
 
 	var out []Tuple
+	var rrows []table.Record
 	fetched := 0
 	for _, tu := range left {
-		v := tu.Record(leftShape, primary.LeftPos).GetByName(primary.LeftCol)
+		v := tu.Record(leftShape, primary.LeftPos).Get(primary.LeftColIdx)
 		if v.Null {
 			continue
 		}
-		var rrows []table.Record
+		rrows = rrows[:0]
 		view := e.viewOf(step.Right.Ref.Table)
 		if step.RightIndexIsPK {
 			if !v.IsI {
@@ -414,8 +423,8 @@ func (e *Engine) joinIndexed(pl *Pipeline, si int, leftShape *Shape, left []Tupl
 			}
 			match := true
 			for _, c := range residual {
-				lv := tu.Record(leftShape, c.LeftPos).GetByName(c.LeftCol)
-				rv := rec.GetByName(c.RightCol)
+				lv := tu.Record(leftShape, c.LeftPos).Get(c.LeftColIdx)
+				rv := rec.Get(c.RightColIdx)
 				if lv.Null || rv.Null || lv.IsI != rv.IsI ||
 					(lv.IsI && lv.Int != rv.Int) || (!lv.IsI && lv.Str != rv.Str) {
 					match = false
@@ -423,7 +432,7 @@ func (e *Engine) joinIndexed(pl *Pipeline, si int, leftShape *Shape, left []Tupl
 				}
 			}
 			if match {
-				out = append(out, extendTuple(tu, rec.Data))
+				out = append(out, pl.extendTuple(tu, rec.Data))
 			}
 		}
 	}
@@ -436,82 +445,162 @@ func (e *Engine) joinIndexed(pl *Pipeline, si int, leftShape *Shape, left []Tupl
 	return out, nil
 }
 
-func extendTuple(tu Tuple, right []byte) Tuple {
-	nt := make(Tuple, len(tu)+1)
+// tupleArenaBlock is the slot count of one arena block; at 8 bytes per slot a
+// block is one 64 KiB allocation feeding thousands of tuple extensions.
+const tupleArenaBlock = 8192
+
+// tupleArena carves Tuple backing arrays out of large shared blocks so the
+// join output path performs one allocation per block instead of one per
+// tuple. Carved tuples use full slice expressions, so an (out-of-contract)
+// append on a Tuple can never bleed into its neighbor. A pipeline — and
+// therefore its arena — is only ever driven by one goroutine at a time: the
+// cooperative executor runs host joins synchronously inside the device's
+// emit callback, and the parallel sweep gives each worker its own engines
+// and pipelines.
+type tupleArena struct {
+	block [][]byte
+	off   int
+}
+
+func (a *tupleArena) alloc(n int) Tuple {
+	if a.off+n > len(a.block) {
+		sz := tupleArenaBlock
+		if n > sz {
+			sz = n
+		}
+		a.block = make([][]byte, sz)
+		a.off = 0
+	}
+	t := Tuple(a.block[a.off : a.off+n : a.off+n])
+	a.off += n
+	return t
+}
+
+// extendTuple appends the matched right-side row to tu in arena-backed
+// storage.
+func (pl *Pipeline) extendTuple(tu Tuple, right []byte) Tuple {
+	nt := pl.arena.alloc(len(tu) + 1)
 	copy(nt, tu)
 	nt[len(tu)] = right
 	return nt
 }
 
-// groupAggregate hash-groups tuples and computes the aggregates.
+// boundRef is a column reference resolved against a shape: tuple position
+// plus column index, so the per-tuple path never resolves names.
+type boundRef struct{ pos, idx int }
+
+// bindRef resolves an aliased column once. Unknown aliases or columns bind to
+// -1 and read as NULL, matching Tuple.Col.
+func bindRef(sh *Shape, alias, col string) boundRef {
+	p := sh.Pos(alias)
+	if p < 0 {
+		return boundRef{pos: -1, idx: -1}
+	}
+	return boundRef{pos: p, idx: sh.Schemas[p].ColumnIndex(col)}
+}
+
+// colVal reads a bound column from the tuple (NULL for unbound refs and
+// absent positions, as Tuple.Col does).
+func colVal(sh *Shape, tu Tuple, r boundRef) table.Value {
+	if r.pos < 0 || tu[r.pos] == nil {
+		return table.NullVal()
+	}
+	return table.Record{Schema: sh.Schemas[r.pos], Data: tu[r.pos]}.Get(r.idx)
+}
+
+// groupAggregate hash-groups tuples and computes the aggregates. Groups live
+// in the open-addressing key table — the entry ordinal is the group's
+// first-occurrence rank, which is the output order — with flat accumulator
+// arrays indexed by ordinal×len(aggs) instead of a per-group state struct.
 func (e *Engine) groupAggregate(sh *Shape, tuples []Tuple, groupBy []query.ColRef, aggs []query.Aggregate) (*Result, error) {
-	type aggState struct {
-		key    []table.Value
-		minI   []int32
+	gbRefs := make([]boundRef, len(groupBy))
+	for i, g := range groupBy {
+		gbRefs[i] = bindRef(sh, g.Alias, g.Col)
+	}
+	aggRefs := make([]boundRef, len(aggs))
+	for i, a := range aggs {
+		if !a.Star {
+			aggRefs[i] = bindRef(sh, a.Arg.Alias, a.Arg.Col)
+		}
+	}
+
+	na := len(aggs)
+	tab := newKeyTab(0)
+	var (
+		keys   [][]table.Value // decoded key of each group's first tuple
+		minI   []int32         // flat accumulators: [ordinal*na + agg]
 		minS   []string
 		sums   []float64
 		counts []int64
 		seen   []bool
-	}
-	groups := map[string]*aggState{}
-	var order []string
-
+	)
+	var gk []byte
 	for _, tu := range tuples {
-		var gk []byte
-		var keyVals []table.Value
-		for _, g := range groupBy {
-			v := tu.Col(sh, g.Alias, g.Col)
-			keyVals = append(keyVals, v)
-			gk = appendValueKey(gk, v)
-		}
-		st, ok := groups[string(gk)]
-		if !ok {
-			st = &aggState{
-				key:    keyVals,
-				minI:   make([]int32, len(aggs)),
-				minS:   make([]string, len(aggs)),
-				sums:   make([]float64, len(aggs)),
-				counts: make([]int64, len(aggs)),
-				seen:   make([]bool, len(aggs)),
+		gk = gk[:0]
+		for gi := range groupBy {
+			r := gbRefs[gi]
+			if r.pos >= 0 && tu[r.pos] != nil {
+				var ok bool
+				gk, ok = table.Record{Schema: sh.Schemas[r.pos], Data: tu[r.pos]}.AppendColKey(gk, r.idx)
+				if ok {
+					continue
+				}
 			}
-			groups[string(gk)] = st
-			order = append(order, string(gk))
+			// NULL group keys encode like the empty string (and collide with
+			// it), as the decoded-value codec always has.
+			gk = append(gk, 's', 0)
 		}
+		ord, fresh := tab.put(fnv1a(gk), gk)
+		if fresh {
+			kv := make([]table.Value, len(groupBy))
+			for gi := range groupBy {
+				kv[gi] = colVal(sh, tu, gbRefs[gi])
+			}
+			keys = append(keys, kv)
+			for i := 0; i < na; i++ {
+				minI = append(minI, 0)
+				minS = append(minS, "")
+				sums = append(sums, 0)
+				counts = append(counts, 0)
+				seen = append(seen, false)
+			}
+		}
+		base := int(ord) * na
 		for i, a := range aggs {
 			if a.Star {
-				st.counts[i]++
+				counts[base+i]++
 				continue
 			}
-			v := tu.Col(sh, a.Arg.Alias, a.Arg.Col)
+			v := colVal(sh, tu, aggRefs[i])
 			if v.Null {
 				continue
 			}
-			st.counts[i]++
+			counts[base+i]++
 			switch a.Func {
 			case query.Min:
 				if v.IsI {
-					if !st.seen[i] || v.Int < st.minI[i] {
-						st.minI[i] = v.Int
+					if !seen[base+i] || v.Int < minI[base+i] {
+						minI[base+i] = v.Int
 					}
-				} else if !st.seen[i] || v.Str < st.minS[i] {
-					st.minS[i] = v.Str
+				} else if !seen[base+i] || v.Str < minS[base+i] {
+					minS[base+i] = v.Str
 				}
 			case query.Max:
 				if v.IsI {
-					if !st.seen[i] || v.Int > st.minI[i] {
-						st.minI[i] = v.Int
+					if !seen[base+i] || v.Int > minI[base+i] {
+						minI[base+i] = v.Int
 					}
-				} else if !st.seen[i] || v.Str > st.minS[i] {
-					st.minS[i] = v.Str
+				} else if !seen[base+i] || v.Str > minS[base+i] {
+					minS[base+i] = v.Str
 				}
 			case query.Sum, query.Avg:
 				if v.IsI {
-					st.sums[i] += float64(v.Int)
+					sums[base+i] += float64(v.Int)
 				}
 			case query.Count:
 				// count handled above
 			}
-			st.seen[i] = true
+			seen[base+i] = true
 		}
 	}
 
@@ -531,25 +620,25 @@ func (e *Engine) groupAggregate(sh *Shape, tuples []Tuple, groupBy []query.ColRe
 		res.Columns = append(res.Columns, name)
 	}
 	rowWidth := int64(len(res.Columns) * 8)
-	for _, gk := range order {
-		st := groups[gk]
+	for ord := range keys {
+		base := ord * na
 		var row []table.Value
-		row = append(row, st.key...)
+		row = append(row, keys[ord]...)
 		for i, a := range aggs {
 			switch {
 			case a.Func == query.Count:
-				row = append(row, table.IntVal(int32(st.counts[i])))
-			case !st.seen[i]:
+				row = append(row, table.IntVal(int32(counts[base+i])))
+			case !seen[base+i]:
 				row = append(row, table.NullVal())
 			case a.Func == query.Sum:
-				row = append(row, table.IntVal(int32(st.sums[i])))
+				row = append(row, table.IntVal(int32(sums[base+i])))
 			case a.Func == query.Avg:
-				row = append(row, table.IntVal(int32(st.sums[i]/float64(maxI64(st.counts[i], 1)))))
+				row = append(row, table.IntVal(int32(sums[base+i]/float64(maxI64(counts[base+i], 1)))))
 			case a.Func == query.Min || a.Func == query.Max:
-				if st.minS[i] != "" {
-					row = append(row, table.StrVal(st.minS[i]))
+				if minS[base+i] != "" {
+					row = append(row, table.StrVal(minS[base+i]))
 				} else {
-					row = append(row, table.IntVal(st.minI[i]))
+					row = append(row, table.IntVal(minI[base+i]))
 				}
 			}
 		}
@@ -600,17 +689,19 @@ func (e *Engine) projectTuples(sh *Shape, tuples []Tuple, out []query.ColRef) (*
 		}
 	}
 	var rowWidth int64
+	refs := make([]boundRef, len(out))
 	if len(out) == 0 {
 		for _, s := range sh.Schemas {
 			rowWidth += int64(s.RowBytes())
 		}
 	} else {
-		for _, c := range out {
+		for ci, c := range out {
 			i := sh.Pos(c.Alias)
 			if i < 0 {
 				return nil, fmt.Errorf("exec: projection references alias %q outside the plan", c.Alias)
 			}
 			rowWidth += int64(sh.Schemas[i].ColumnStoredBytes(c.Col))
+			refs[ci] = bindRef(sh, c.Alias, c.Col)
 		}
 	}
 	for _, tu := range tuples {
@@ -624,8 +715,8 @@ func (e *Engine) projectTuples(sh *Shape, tuples []Tuple, out []query.ColRef) (*
 					}
 				}
 			} else {
-				for _, c := range out {
-					row = append(row, tu.Col(sh, c.Alias, c.Col))
+				for _, r := range refs {
+					row = append(row, colVal(sh, tu, r))
 				}
 			}
 			res.Rows = append(res.Rows, row)

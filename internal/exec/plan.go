@@ -71,11 +71,17 @@ func (a AccessPath) String() string {
 
 // BoundCond is a join condition resolved against the tuple shape: position
 // LeftPos in the accumulated tuple joins column LeftCol with RightCol of the
-// incoming table.
+// incoming table. LeftColIdx/RightColIdx carry the plan-time-resolved column
+// indices so the per-tuple path never resolves names; StartPipeline verifies
+// them against the schemas (index 0 is a valid column, so a zero value alone
+// cannot distinguish "unresolved" from "column 0") and re-resolves when a
+// hand-built plan left them unset.
 type BoundCond struct {
-	LeftPos  int
-	LeftCol  string
-	RightCol string
+	LeftPos     int
+	LeftCol     string
+	RightCol    string
+	LeftColIdx  int
+	RightColIdx int
 }
 
 // JoinStep joins the accumulated tuple stream with one more base table.

@@ -151,8 +151,9 @@ func (h *H) Fig12(w io.Writer) ([]Fig12Row, error) {
 	var rows []Fig12Row
 	wins, pars := 0, 0
 	ndpBest, h0Best := 0, 0
-	for _, q := range qs {
-		msr, _, err := h.SweepStrategies(q)
+	sweeps := h.SweepParallel(qs)
+	for qi, q := range qs {
+		msr, err := sweeps[qi].Msr, sweeps[qi].Err
 		if err != nil {
 			return nil, err
 		}
@@ -220,13 +221,16 @@ func (h *H) Fig13(w io.Writer) ([]Fig13Row, error) {
 	header(w, "Fig 13 — Exp 3: optimizer decision quality")
 	var rows []Fig13Row
 	best, acceptable := 0, 0
-	for _, q := range job.Queries() {
+	qs := job.Queries()
+	// Re-measure every strategy against the oracle; the sweeps dominate the
+	// wall-clock cost and parallelize across queries.
+	sweeps := h.SweepParallel(qs)
+	for qi, q := range qs {
 		d, err := h.Opt.Decide(q)
 		if err != nil {
 			return nil, err
 		}
-		// Re-measure the decided strategy and the oracle.
-		msr, _, err := h.SweepStrategies(q)
+		msr, err := sweeps[qi].Msr, sweeps[qi].Err
 		if err != nil {
 			return nil, err
 		}

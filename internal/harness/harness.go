@@ -10,6 +10,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"hybridndp/internal/coop"
 	"hybridndp/internal/exec"
@@ -25,6 +27,12 @@ type H struct {
 	DS   *job.Dataset
 	Opt  *optimizer.Optimizer
 	Exec *coop.Executor
+
+	// Workers sets the wall-clock parallelism of the sweep experiments and
+	// the -plans dump (0 or 1 = sequential). Parallel runs are byte-identical
+	// to sequential ones: every query executes on fresh per-run engines,
+	// caches and vclock timelines, and results merge in query order.
+	Workers int
 }
 
 // New loads the JOB dataset at the given scale and assembles the harness.
@@ -83,16 +91,80 @@ type Measurement struct {
 // Plans serializes the optimizer's decision for every JOB query: the chosen
 // strategy, split point, reason and the full plan tree. Two runs over
 // identically seeded datasets must produce byte-identical output — this is
-// the determinism surface `cmd/jobbench -plans` exposes for diffing.
+// the determinism surface `cmd/jobbench -plans` exposes for diffing. With
+// Workers > 1 the decisions compute in parallel but print in query order, so
+// the dump stays byte-identical.
 func (h *H) Plans(w io.Writer) error {
-	for _, q := range job.Queries() {
-		d, err := h.Opt.Decide(q)
-		if err != nil {
-			return fmt.Errorf("%s: %w", q.Name, err)
+	qs := job.Queries()
+	type decided struct {
+		d   *optimizer.Decision
+		err error
+	}
+	out := make([]decided, len(qs))
+	h.forEach(len(qs), func(i int) {
+		out[i].d, out[i].err = h.Opt.Decide(qs[i])
+	})
+	for i, q := range qs {
+		if out[i].err != nil {
+			return fmt.Errorf("%s: %w", q.Name, out[i].err)
 		}
+		d := out[i].d
 		fmt.Fprintf(w, "%s %s split=%d reason=%q\n%s\n\n", q.Name, d.StrategyLabel(), d.Split, d.Reason, d.Plan)
 	}
 	return nil
+}
+
+// forEach runs fn(0..n-1) across min(h.Workers, n) goroutines (inline when
+// sequential). Each index is claimed exactly once; callers write to disjoint
+// pre-sized slots, so no further synchronization is needed.
+func (h *H) forEach(n int, fn func(i int)) {
+	workers := h.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// SweepResult is one query's full strategy sweep.
+type SweepResult struct {
+	Msr  []Measurement
+	Plan *exec.Plan
+	Err  error
+}
+
+// SweepParallel runs SweepStrategies for every query across h.Workers
+// goroutines and merges the results in query order. Every strategy execution
+// uses fresh per-run engines, block caches and timelines, so the merged
+// measurements are byte-identical to a sequential sweep regardless of worker
+// count or interleaving (TestParallelSweepMatchesSequential enforces this) —
+// only wall-clock time changes.
+func (h *H) SweepParallel(qs []*query.Query) []SweepResult {
+	out := make([]SweepResult, len(qs))
+	h.forEach(len(qs), func(i int) {
+		out[i].Msr, out[i].Plan, out[i].Err = h.SweepStrategies(qs[i])
+	})
+	return out
 }
 
 // SweepStrategies runs the query under block, native, every hybrid split and

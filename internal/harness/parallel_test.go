@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"hybridndp/internal/job"
+)
+
+// TestParallelSweepMatchesSequential is the parallel-runner counterpart of
+// the optimizer's TestDecisionsAreDeterministic: a SweepParallel run with
+// several workers must produce measurement-for-measurement identical results
+// to a sequential sweep, and the Plans dump must stay byte-identical. Every
+// strategy execution uses fresh per-run engines and timelines, so worker
+// interleaving may only change wall-clock time, never a virtual-time number.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	h := testHarness(t)
+	qs := job.Queries()[:8]
+
+	seq := *h
+	seq.Workers = 1
+	par := *h
+	par.Workers = 4
+
+	want := seq.SweepParallel(qs)
+	got := par.SweepParallel(qs)
+	if len(want) != len(got) {
+		t.Fatalf("result count: sequential %d, parallel %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].Err != nil || got[i].Err != nil {
+			t.Fatalf("%s: sweep errors: sequential %v, parallel %v", qs[i].Name, want[i].Err, got[i].Err)
+		}
+		if !reflect.DeepEqual(want[i].Msr, got[i].Msr) {
+			t.Fatalf("%s: measurements diverge between sequential and parallel sweeps:\nseq: %+v\npar: %+v",
+				qs[i].Name, want[i].Msr, got[i].Msr)
+		}
+	}
+
+	var bseq, bpar bytes.Buffer
+	if err := seq.Plans(&bseq); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Plans(&bpar); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bseq.Bytes(), bpar.Bytes()) {
+		t.Fatal("Plans dump differs between sequential and parallel runs")
+	}
+}

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hybridndp/internal/flash"
 	"hybridndp/internal/hw"
@@ -75,7 +79,7 @@ func LoadSeeded(scale float64, m hw.Model, seed int64) (*Dataset, error) {
 		}
 	}
 	ds := &Dataset{DB: db, Cat: cat, Model: m, Flash: fl, Scale: scale, Counts: map[string]int{}}
-	g := &gen{ds: ds, rng: rand.New(rand.NewSource(seed))}
+	g := &gen{ds: ds, rng: rand.New(rand.NewSource(seed)), bufIdx: map[string]int{}}
 	if err := g.run(); err != nil {
 		return nil, err
 	}
@@ -118,6 +122,22 @@ func LoadSeeded(scale float64, m hw.Model, seed int64) (*Dataset, error) {
 type gen struct {
 	ds  *Dataset
 	rng *rand.Rand
+
+	// Generation is two-phase: phase 1 draws every random value from the
+	// single rng stream in the exact order the sequential loader used and
+	// buffers the rows per table; phase 2 inserts the buffered tables across
+	// worker goroutines. Tables are independent — each owns its LSM trees,
+	// and memtable skiplist RNGs derive per-tree from the base seed — so the
+	// loaded contents are bit-for-bit identical to a sequential load
+	// regardless of worker interleaving; only wall-clock time changes.
+	buf    []*tableBuf
+	bufIdx map[string]int // table name → position in buf
+}
+
+// tableBuf holds one table's generated rows awaiting insertion.
+type tableBuf struct {
+	name string
+	rows [][]table.Value
 }
 
 func (g *gen) n(tbl string) int {
@@ -138,14 +158,75 @@ func (g *gen) zipfID(n int) int32 {
 
 func (g *gen) uniformID(n int) int32 { return 1 + int32(g.rng.Intn(n)) }
 
+// insert buffers one generated row; the actual encoding and LSM insertion
+// happens in insertTables, in parallel across tables.
 func (g *gen) insert(tbl string, vals ...table.Value) error {
-	t, err := g.ds.Cat.Table(tbl)
+	i, ok := g.bufIdx[tbl]
+	if !ok {
+		i = len(g.buf)
+		g.bufIdx[tbl] = i
+		g.buf = append(g.buf, &tableBuf{name: tbl})
+	}
+	g.buf[i].rows = append(g.buf[i].rows, vals)
+	return nil
+}
+
+// insertTables drains the buffered tables across min(GOMAXPROCS, tables)
+// worker goroutines, largest table first so the long poles start early. Rows
+// within a table insert in generation order; interleaving across tables only
+// reorders the shared flash FileID sequence, which nothing virtual-time
+// visible observes (FlushAll already flushes families in map order).
+func (g *gen) insertTables() error {
+	order := make([]int, len(g.buf))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(g.buf[order[a]].rows) > len(g.buf[order[b]].rows)
+	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, len(order))
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(order) {
+					return
+				}
+				errs[i] = g.insertTable(g.buf[order[i]])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *gen) insertTable(b *tableBuf) error {
+	t, err := g.ds.Cat.Table(b.name)
 	if err != nil {
 		return err
 	}
-	if err := t.Insert(vals); err != nil {
-		return fmt.Errorf("job: inserting into %s: %v", tbl, err)
+	for _, vals := range b.rows {
+		if err := t.Insert(vals); err != nil {
+			return fmt.Errorf("job: inserting into %s: %v", b.name, err)
+		}
 	}
+	b.rows = nil
 	return nil
 }
 
@@ -167,6 +248,9 @@ func (g *gen) run() error {
 		if err := s(); err != nil {
 			return err
 		}
+	}
+	if err := g.insertTables(); err != nil {
+		return err
 	}
 	for tbl := range baseCounts {
 		t, err := g.ds.Cat.Table(tbl)

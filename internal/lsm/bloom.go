@@ -3,7 +3,41 @@ package lsm
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"sync/atomic"
 )
+
+// BloomStats counts Bloom-filter probe outcomes across the SST point lookups
+// of one engine run. A negative probe excluded the SST without any flash
+// read (the filter paid off); a positive probe let the lookup proceed to the
+// data block (including false positives). The counters are atomic and every
+// method tolerates a nil receiver, so uninstrumented paths pass no stats at
+// zero cost.
+type BloomStats struct {
+	negative int64
+	positive int64
+}
+
+// AddNegative records a probe where the filter excluded the SST.
+func (s *BloomStats) AddNegative() {
+	if s != nil {
+		atomic.AddInt64(&s.negative, 1)
+	}
+}
+
+// AddPositive records a probe that passed the filter.
+func (s *BloomStats) AddPositive() {
+	if s != nil {
+		atomic.AddInt64(&s.positive, 1)
+	}
+}
+
+// Counts returns the accumulated (negative, positive) probe counts.
+func (s *BloomStats) Counts() (negative, positive int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return atomic.LoadInt64(&s.negative), atomic.LoadInt64(&s.positive)
+}
 
 // Bloom is a standard Bloom filter over record keys, used by the host engine
 // (as in MyRocks/RocksDB) to exclude SST files during point lookups. Per the

@@ -19,6 +19,9 @@ type Access struct {
 	TL    *vclock.Timeline
 	R     hw.Rates
 	Cache *BlockCache
+	// Bloom, when set, accumulates Bloom-filter probe outcomes for the
+	// metrics registry; it never affects virtual-time accounting.
+	Bloom *BloomStats
 }
 
 // Charged reports whether this access books virtual time.
@@ -360,8 +363,12 @@ func (t *SST) Get(key []byte, ac Access) (Entry, bool, error) {
 	if !t.InRange(key) {
 		return Entry{}, false, nil
 	}
-	if !ac.R.OnDevice && !t.bloom.MayContain(key) {
-		return Entry{}, false, nil
+	if !ac.R.OnDevice {
+		if !t.bloom.MayContain(key) {
+			ac.Bloom.AddNegative()
+			return Entry{}, false, nil
+		}
+		ac.Bloom.AddPositive()
 	}
 	bi := t.blockIdx(key)
 	if bi < 0 {

@@ -187,8 +187,21 @@ func (o *Optimizer) BuildPlan(q *query.Query) (*exec.Plan, error) {
 }
 
 // boundConds resolves all join conditions linking alias to already-joined
-// tables into tuple-position-bound conditions.
+// tables into tuple-position-bound conditions, with column indices resolved
+// at plan time so the executor's per-tuple path never resolves names.
 func (o *Optimizer) boundConds(q *query.Query, alias string, joined map[string]int) []exec.BoundCond {
+	schemaOf := func(a string) *table.Schema {
+		for _, ref := range q.Tables {
+			if ref.Alias == a {
+				if t, err := o.Cat.Table(ref.Table); err == nil {
+					return t.Schema
+				}
+				break
+			}
+		}
+		return nil
+	}
+	rightSchema := schemaOf(alias)
 	var out []exec.BoundCond
 	for _, j := range q.Joins {
 		if !j.Touches(alias) {
@@ -199,13 +212,19 @@ func (o *Optimizer) boundConds(q *query.Query, alias string, joined map[string]i
 		if !ok {
 			continue
 		}
-		bc := exec.BoundCond{LeftPos: pos}
+		bc := exec.BoundCond{LeftPos: pos, LeftColIdx: -1, RightColIdx: -1}
 		if j.LeftAlias == alias {
 			bc.LeftCol = j.RightCol
 			bc.RightCol = j.LeftCol
 		} else {
 			bc.LeftCol = j.LeftCol
 			bc.RightCol = j.RightCol
+		}
+		if ls := schemaOf(other); ls != nil {
+			bc.LeftColIdx = ls.ColumnIndex(bc.LeftCol)
+		}
+		if rightSchema != nil {
+			bc.RightColIdx = rightSchema.ColumnIndex(bc.RightCol)
 		}
 		out = append(out, bc)
 	}

@@ -228,6 +228,33 @@ func (r Record) Get(i int) Value {
 // GetByName returns the named column's value.
 func (r Record) GetByName(name string) Value { return r.Get(r.Schema.ColumnIndex(name)) }
 
+// AppendColKey appends column i's join-key encoding to dst without decoding
+// the value: 'i' + big-endian int32 + 0x00 for integers, 's' + the
+// NUL-trimmed character payload + 0x00 for CHAR columns — byte-identical to
+// encoding Get(i) through the executor's value-key codec, with no string
+// allocation. ok is false (dst unchanged) when the column is NULL or i is out
+// of range; the caller decides how NULL keys behave (joins skip the tuple,
+// grouping encodes an empty marker).
+func (r Record) AppendColKey(dst []byte, i int) ([]byte, bool) {
+	if i < 0 || i >= len(r.Schema.Columns) || r.IsNull(i) {
+		return dst, false
+	}
+	c := r.Schema.Columns[i]
+	off := r.Schema.offsets[i]
+	if c.Type == Int32 {
+		v := int32(binary.LittleEndian.Uint32(r.Data[off:]))
+		return append(dst, 'i', byte(v>>24), byte(v>>16), byte(v>>8), byte(v), 0), true
+	}
+	raw := r.Data[off : off+c.Size]
+	end := len(raw)
+	for end > 0 && raw[end-1] == 0 {
+		end--
+	}
+	dst = append(dst, 's')
+	dst = append(dst, raw[:end]...)
+	return append(dst, 0), true
+}
+
 // PK returns the record's primary key.
 func (r Record) PK() int32 {
 	return r.Get(r.Schema.pkIdx).Int
