@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json serve trace-smoke
+.PHONY: all build vet lint test race bench bench-json serve trace-smoke chaos
 
 all: build vet lint test
 
@@ -47,3 +47,12 @@ trace-smoke:
 	$(GO) run ./cmd/jobbench -scale 0.05 -slots 1 -trace "8d@H1:trace.json" >/dev/null
 	$(GO) run ./cmd/tracecheck -slots trace.json
 	rm -f trace.json
+
+# Chaos gate: every JOB query must survive a 100%-crash device (retry, then
+# host fallback) with results identical to host-native, and a traced chaos
+# query must show the retry/fallback spans nested under its query root.
+chaos:
+	$(GO) run ./cmd/jobbench -scale 0.01 -faults "dev.crash=1" >/dev/null
+	$(GO) run ./cmd/jobbench -scale 0.01 -faults "dev.crash=1" -trace "8d@H1:chaos-trace.json" >/dev/null
+	$(GO) run ./cmd/tracecheck -chaos chaos-trace.json
+	rm -f chaos-trace.json

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"hybridndp/internal/fault"
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/obs"
@@ -39,6 +40,8 @@ func main() {
 			"write a merged Chrome trace_event JSON of every served query to this file")
 		metrics = flag.Bool("metrics", false,
 			"record scheduler/executor metrics and print the registry dump at the end")
+		faults = flag.String("faults", "",
+			"fault-injection spec (see jobbench -faults): serve the mix with device faults injected; recovery retries, host fallback and circuit breaking keep queries answering")
 	)
 	flag.Parse()
 
@@ -62,6 +65,15 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *faults != "" {
+		p, err := fault.Parse(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		h.Exec.Faults = p
+		fmt.Printf("fault injection active: %s\n", p)
+	}
 
 	if *sweep {
 		if _, err := h.ServingSweep(os.Stdout, nil); err != nil {

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"hybridndp/internal/fault"
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/job"
@@ -41,8 +42,20 @@ func main() {
 			"override the shared result-buffer slot size in KiB (0 = model default)")
 		workers = flag.Int("workers", 1,
 			"wall-clock worker goroutines for the sweep experiments and -plans; results are byte-identical to -workers 1")
+		faults = flag.String("faults", "",
+			"fault-injection spec (e.g. flash.read.err=0.01,dev.crash@batch=7,slot.corrupt=0.005,dev.stall=2ms,seed=1): run the chaos sweep — every JOB query under its decided strategy with faults injected, verified against a fault-free host-native baseline — then exit; with -trace, trace the query under faults instead")
 	)
 	flag.Parse()
+
+	var faultPlan *fault.Plan
+	if *faults != "" {
+		p, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(2)
+		}
+		faultPlan = p
+	}
 
 	model := hw.Cosmos()
 	if *slots > 0 {
@@ -87,6 +100,7 @@ func main() {
 		if *metrics {
 			h.BindMetrics(obs.NewRegistry())
 		}
+		h.Exec.Faults = faultPlan
 		tr, err := h.TraceQuery(name, strat)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jobbench:", err)
@@ -111,6 +125,31 @@ func main() {
 			fmt.Print(h.Exec.Metrics.Dump())
 		}
 		fmt.Printf("wrote %s (%d spans)\n", outPath, tr.Trace.Len())
+		return
+	}
+	if faultPlan != nil {
+		// Chaos sweep: deterministic, no progress chatter, so repeated runs
+		// at a given -seed/-scale/-faults diff byte-for-byte.
+		h, err := harness.NewSeeded(*scale, model, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		h.Workers = *workers
+		var reg *obs.Registry
+		if *metrics {
+			reg = h.BindMetrics(obs.NewRegistry())
+		}
+		res := h.ChaosSweep(os.Stdout, faultPlan)
+		if reg != nil {
+			h.PublishStorage(reg)
+			fmt.Println("\nmetrics")
+			fmt.Println("-------")
+			fmt.Print(reg.Dump())
+		}
+		if !res.Clean() {
+			os.Exit(1)
+		}
 		return
 	}
 	if *plans {

@@ -9,6 +9,7 @@
 //
 //	tracecheck trace.json            # parse + structural checks
 //	tracecheck -slots trace.json     # also require a slot-stall span
+//	tracecheck -chaos trace.json     # also require retry/fallback recovery spans
 package main
 
 import (
@@ -30,9 +31,11 @@ type event struct {
 
 func main() {
 	slots := flag.Bool("slots", false, "require an explicit device.wait.slot span")
+	chaos := flag.Bool("chaos", false,
+		"require fault-recovery structure: coop.retry and coop.fallback.host spans nested inside a query root span on the host track")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-slots] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-slots] [-chaos] trace.json")
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
@@ -53,6 +56,7 @@ func main() {
 	type track struct{ lo, hi float64 }
 	tracks := map[string]*track{}
 	var spans, slotSpans int
+	var hostRoots, hostRetries, hostFallbacks []event
 	for _, e := range events {
 		switch e.Ph {
 		case "M":
@@ -65,6 +69,16 @@ func main() {
 				slotSpans++
 			}
 			name := threads[e.Tid]
+			if name == "host" {
+				switch {
+				case len(e.Name) > 6 && e.Name[:6] == "query:":
+					hostRoots = append(hostRoots, e)
+				case e.Name == "coop.retry":
+					hostRetries = append(hostRetries, e)
+				case e.Name == "coop.fallback.host":
+					hostFallbacks = append(hostFallbacks, e)
+				}
+			}
 			t := tracks[name]
 			if t == nil {
 				t = &track{lo: e.Ts, hi: e.Ts + e.Dur}
@@ -93,9 +107,39 @@ func main() {
 	if *slots && slotSpans == 0 {
 		fail("%s contains no device.wait.slot span", path)
 	}
+	if *chaos {
+		// Recovery spans must exist AND nest inside a query root span's
+		// [ts, ts+dur) interval on the same (host) track — the structural
+		// guarantee that retries and the fallback are attributed to a query.
+		nested := func(kind string, es []event) {
+			if len(es) == 0 {
+				fail("%s contains no %s span", path, kind)
+			}
+			// ts/dur are µs rounded independently, so interval endpoints can
+			// disagree by one rounding step; tolerate a few ns of slop.
+			const eps = 0.01
+			for _, e := range es {
+				ok := false
+				for _, r := range hostRoots {
+					if e.Tid == r.Tid && e.Ts >= r.Ts-eps && e.Ts+e.Dur <= r.Ts+r.Dur+eps {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					fail("%s: %s span at ts=%g is not nested in any query root span", path, kind, e.Ts)
+				}
+			}
+		}
+		if len(hostRoots) == 0 {
+			fail("%s contains no query root span on the host track", path)
+		}
+		nested("coop.retry", hostRetries)
+		nested("coop.fallback.host", hostFallbacks)
+	}
 
-	fmt.Printf("tracecheck: %s ok (%d spans, %d threads, %d slot stalls)\n",
-		path, spans, len(threads), slotSpans)
+	fmt.Printf("tracecheck: %s ok (%d spans, %d threads, %d slot stalls, %d retries, %d fallbacks)\n",
+		path, spans, len(threads), slotSpans, len(hostRetries), len(hostFallbacks))
 }
 
 func fail(format string, args ...any) {

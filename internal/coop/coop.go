@@ -14,6 +14,7 @@ import (
 
 	"hybridndp/internal/device"
 	"hybridndp/internal/exec"
+	"hybridndp/internal/fault"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/lsm"
@@ -97,6 +98,13 @@ type Report struct {
 	TransferredBytes int64
 	Timeline         []BatchEvent
 	DeviceMemory     device.MemoryPlan
+
+	// FaultRetries counts device-command retries forced by injected faults;
+	// the wasted virtual time of every failed attempt is folded into Elapsed.
+	FaultRetries int
+	// FellBack reports that the run abandoned the device after exhausting its
+	// retries and re-executed the whole plan host-only.
+	FellBack bool
 }
 
 // Profile aggregates the report's timeline accounts into the paper's phase
@@ -145,6 +153,35 @@ type Executor struct {
 	// stall time, cache hit rates). Nil disables metric recording; the
 	// registry is race-safe, so one registry may be shared by concurrent runs.
 	Metrics *obs.Registry
+	// Faults, when set to an enabled plan, deterministically injects device
+	// faults (see internal/fault): flash read errors and per-batch
+	// stall/crash/corruption on device strategies. Host-side execution — and
+	// therefore the fallback path — is never injected: the smart-storage
+	// device is the unreliable component of the model.
+	Faults *fault.Plan
+	// MaxRetries caps device-command retries before host-only fallback
+	// (0 = default of 2, negative = no retries).
+	MaxRetries int
+}
+
+// maxRetries resolves the retry cap.
+func (x *Executor) maxRetries() int {
+	if x.MaxRetries < 0 {
+		return 0
+	}
+	if x.MaxRetries == 0 {
+		return 2
+	}
+	return x.MaxRetries
+}
+
+// injectorFor derives the per-run fault injector. The stream is keyed by
+// query and strategy, so concurrent scheduling order can never perturb a
+// run's fault episode. Nil when fault injection is disabled.
+func (x *Executor) injectorFor(p *exec.Plan, s Strategy) *fault.Injector {
+	in := x.Faults.Injector(p.Query.Name + "|" + s.String())
+	in.Bind(x.Metrics)
+	return in
 }
 
 // applyCacheFormat applies the override to a device engine.
@@ -317,6 +354,86 @@ func (x *Executor) chunkCount(p *exec.Plan) int {
 	return c
 }
 
+// withRecovery drives a device strategy to completion on hostTL. attempt runs
+// one full device-side execution and returns the device timeline's position
+// at exit; injected faults (crash, corruption, flash read errors) are retried
+// with capped exponential backoff after the host has waited out the failed
+// attempt, and once maxRetries is exhausted the original plan re-executes
+// host-only on the same timeline. Every failed attempt's virtual time is
+// therefore folded into the final report's Elapsed. Non-injected errors
+// (planning bugs, validation) propagate immediately.
+func (x *Executor) withRecovery(orig *exec.Plan, s Strategy, tr *obs.Trace,
+	hostTL *vclock.Timeline, attempt func() (*Report, vclock.Time, error)) (*Report, error) {
+
+	retries := 0
+	for {
+		rep, devNow, err := attempt()
+		if err == nil {
+			rep.FaultRetries = retries
+			return rep, nil
+		}
+		if !fault.Injected(err) {
+			return nil, err
+		}
+		if retries >= x.maxRetries() {
+			return x.fallbackHost(orig, s, tr, hostTL, devNow, retries, err)
+		}
+		retries++
+		// The host discovers the failure no earlier than the device reached
+		// it, then backs off before reissuing the command.
+		rsp := tr.Start(hostTL, "coop.retry").AttrInt("attempt", int64(retries)).
+			Attr("cause", err.Error())
+		hostTL.WaitUntil(devNow, hw.CatFaultWait)
+		hostTL.Charge(hw.CatBackoff, retryBackoff(retries))
+		rsp.End()
+		if m := x.Metrics; m != nil {
+			m.Counter("coop.retry").Inc()
+		}
+	}
+}
+
+// retryBackoff is the capped exponential backoff before retry n (1-based):
+// 100µs doubling per attempt, capped at 5ms.
+func retryBackoff(n int) vclock.Duration {
+	d := vclock.Duration(100e3)
+	for i := 1; i < n; i++ {
+		d *= 2
+	}
+	if d > vclock.Duration(5e6) {
+		d = vclock.Duration(5e6)
+	}
+	return d
+}
+
+// fallbackHost re-executes the original plan host-only after the device was
+// given up on. It runs on the same host timeline, so the report's Elapsed
+// includes everything wasted on the failed device attempts.
+func (x *Executor) fallbackHost(p *exec.Plan, s Strategy, tr *obs.Trace,
+	hostTL *vclock.Timeline, devNow vclock.Time, retries int, cause error) (*Report, error) {
+
+	if m := x.Metrics; m != nil {
+		m.Counter("coop.fallback.host").Inc()
+	}
+	fsp := tr.Start(hostTL, "coop.fallback.host").Attr("cause", cause.Error())
+	hostTL.WaitUntil(devNow, hw.CatFaultWait)
+	eng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hw.HostRates(x.Model), Cache: x.hostCache()})
+	res, err := eng.RunPlan(p)
+	fsp.End()
+	if err != nil {
+		return nil, err
+	}
+	x.recordStorage(eng)
+	return &Report{
+		Query:        p.Query.Name,
+		Strategy:     s,
+		Result:       res,
+		Elapsed:      vclock.Duration(hostTL.Now()),
+		HostAccount:  hostTL.Account(),
+		FaultRetries: retries,
+		FellBack:     true,
+	}, nil
+}
+
 // runNDPOnly offloads the complete plan including grouping/aggregation; the
 // host only issues the command and fetches the final result.
 func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
@@ -324,63 +441,81 @@ func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report,
 	if err != nil {
 		return nil, err
 	}
-	dev := device.New(x.Model, x.Cat)
-	dev.Trace = tr
-	dev.Metrics = x.Metrics
 	cmd := &device.Command{Plan: p, SplitAfter: len(p.Steps), Snapshot: snap, Chunks: 1}
-	if err := dev.Validate(cmd); err != nil {
-		return nil, err
-	}
 	mp := device.PlanMemory(x.Model, p, cmd.SplitAfter)
-	eng := dev.Engine(mp)
-	x.applyCacheFormat(eng)
-	eng.Views = snapshotViews(snap)
+	inj := x.injectorFor(p, s)
 	hostTL := vclock.NewTimeline("host")
 	hostR := hw.HostRates(x.Model)
 
 	root := tr.Start(hostTL, "query:"+p.Query.Name).Attr("strategy", s.String())
-	devRoot := tr.Start(dev.TL, "device:"+p.Query.Name).Attr("strategy", s.String())
+	defer root.End()
 
-	// NDP setup: the command (plan, placements, shared state) crosses PCIe.
-	sp := tr.Start(hostTL, "ndp.setup").AttrInt("cmd.bytes", cmd.Bytes())
-	setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
-	hostTL.Charge(hw.CatNDPSetup, setup)
-	sp.End()
-	dsp := tr.Start(dev.TL, "device.setup.wait")
-	dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
-	dsp.End()
+	return x.withRecovery(p, s, tr, hostTL, func() (*Report, vclock.Time, error) {
+		dev := device.New(x.Model, x.Cat)
+		dev.Trace = tr
+		dev.Metrics = x.Metrics
+		dev.Faults = inj
+		if err := dev.Validate(cmd); err != nil {
+			return nil, dev.TL.Now(), err
+		}
+		eng := dev.Engine(mp)
+		x.applyCacheFormat(eng)
+		eng.Views = snapshotViews(snap)
 
-	dsp = tr.Start(dev.TL, "device.plan")
-	res, err := eng.RunPlan(p)
-	dsp.End()
-	devRoot.End()
-	if err != nil {
-		return nil, err
-	}
-	// Host waits for device completion, then transfers the final result.
-	sp = tr.Start(hostTL, "host.wait.device")
-	hostTL.WaitUntil(dev.TL.Now(), hw.CatWaitInitial)
-	sp.End()
-	sp = tr.Start(hostTL, "transfer.result").AttrInt("bytes", res.Bytes)
-	hostR.Transfer(hostTL, res.Bytes, x.Model.SharedBufferSlot)
-	sp.End()
-	root.End()
+		devRoot := tr.Start(dev.TL, "device:"+p.Query.Name).Attr("strategy", s.String())
 
-	return &Report{
-		Query:            p.Query.Name,
-		Strategy:         s,
-		Result:           res,
-		Elapsed:          vclock.Duration(hostTL.Now()),
-		DeviceElapsed:    vclock.Duration(dev.TL.Now()),
-		HostAccount:      hostTL.Account(),
-		DeviceAccount:    dev.TL.Account(),
-		TransferredBytes: res.Bytes,
-		DeviceMemory:     mp,
-	}, nil
+		// NDP setup: the command (plan, placements, shared state) crosses PCIe.
+		sp := tr.Start(hostTL, "ndp.setup").AttrInt("cmd.bytes", cmd.Bytes())
+		setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
+		hostTL.Charge(hw.CatNDPSetup, setup)
+		sp.End()
+		dsp := tr.Start(dev.TL, "device.setup.wait")
+		dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
+		dsp.End()
+
+		dsp = tr.Start(dev.TL, "device.plan")
+		res, err := eng.RunPlan(p)
+		if err == nil && inj != nil {
+			// The final result ships as one batch: give the injector its
+			// per-batch shot at stalling or crashing the command.
+			ev := inj.BeforeEmit()
+			if ev.Stall > 0 {
+				dev.TL.Charge(hw.CatFaultStall, ev.Stall)
+			}
+			if ev.Crash != nil {
+				err = fmt.Errorf("device: final result: %w", ev.Crash)
+			}
+		}
+		dsp.End()
+		devRoot.End()
+		if err != nil {
+			return nil, dev.TL.Now(), err
+		}
+		// Host waits for device completion, then transfers the final result.
+		sp = tr.Start(hostTL, "host.wait.device")
+		hostTL.WaitUntil(dev.TL.Now(), hw.CatWaitInitial)
+		sp.End()
+		sp = tr.Start(hostTL, "transfer.result").AttrInt("bytes", res.Bytes)
+		hostR.Transfer(hostTL, res.Bytes, x.Model.SharedBufferSlot)
+		sp.End()
+
+		return &Report{
+			Query:            p.Query.Name,
+			Strategy:         s,
+			Result:           res,
+			Elapsed:          vclock.Duration(hostTL.Now()),
+			DeviceElapsed:    vclock.Duration(dev.TL.Now()),
+			HostAccount:      hostTL.Account(),
+			DeviceAccount:    dev.TL.Account(),
+			TransferredBytes: res.Bytes,
+			DeviceMemory:     mp,
+		}, dev.TL.Now(), nil
+	})
 }
 
 // runHybrid is the cooperative execution path.
-func (x *Executor) runHybrid(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
+func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
+	p := orig
 	split := s.Split
 	if split == 0 {
 		split = -1 // H0
@@ -409,160 +544,180 @@ func (x *Executor) runHybrid(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, 
 	if err != nil {
 		return nil, err
 	}
-	dev := device.New(x.Model, x.Cat)
-	dev.Trace = tr
-	dev.Metrics = x.Metrics
-	cmd := &device.Command{Plan: p, SplitAfter: split, Snapshot: snap, Chunks: x.chunkCount(p)}
-	if err := dev.Validate(cmd); err != nil {
-		return nil, err
-	}
 	mp := device.PlanMemory(x.Model, p, split)
-	devEng := dev.Engine(mp)
-	x.applyCacheFormat(devEng)
-	devEng.Views = snapshotViews(snap)
-
+	inj := x.injectorFor(p, s)
 	hostTL := vclock.NewTimeline("host")
 	hostR := hw.HostRates(x.Model)
-	hostEng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()})
-
-	// The two engines share one pipeline: the device owns the inner state of
-	// its join steps, the host owns the rest.
-	pl, err := hostEng.StartPipeline(p)
-	if err != nil {
-		return nil, err
-	}
 
 	root := tr.Start(hostTL, "query:"+p.Query.Name).Attr("strategy", s.String())
-	devRoot := tr.Start(dev.TL, "device:"+p.Query.Name).Attr("strategy", s.String()).
-		AttrInt("chunks", int64(cmd.Chunks))
+	defer root.End()
 
-	// (A) NDP invocation.
-	sp := tr.Start(hostTL, "ndp.setup").AttrInt("cmd.bytes", cmd.Bytes())
-	setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
-	hostTL.Charge(hw.CatNDPSetup, setup)
-	sp.End()
-	dsp := tr.Start(dev.TL, "device.setup.wait")
-	dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
-	dsp.End()
-
-	// Host prep overlaps the device's initial execution: build the hash
-	// tables of the host-side buffered joins now.
-	hostFrom := 0
-	if split > 0 {
-		hostFrom = split
-	}
-	if split > 0 { // Hk: host joins steps[split:]; inners are host-scanned.
-		for si := hostFrom; si < len(p.Steps); si++ {
-			if p.Steps[si].Type != exec.BNLI {
-				bsp := tr.Start(hostTL, "host.build.inner").
-					Attr("alias", p.Steps[si].Right.Ref.Alias).AttrInt("step", int64(si))
-				_, err := hostEng.BuildInner(pl, si)
-				bsp.End()
-				if err != nil {
-					return nil, err
-				}
-			}
+	// The fallback re-executes the ORIGINAL plan (with its BNLI index joins
+	// intact): the H0 rewrite only makes sense with device-seeded inners.
+	return x.withRecovery(orig, s, tr, hostTL, func() (*Report, vclock.Time, error) {
+		dev := device.New(x.Model, x.Cat)
+		dev.Trace = tr
+		dev.Metrics = x.Metrics
+		dev.Faults = inj
+		cmd := &device.Command{Plan: p, SplitAfter: split, Snapshot: snap, Chunks: x.chunkCount(p)}
+		if err := dev.Validate(cmd); err != nil {
+			return nil, dev.TL.Now(), err
 		}
-	}
+		devEng := dev.Engine(mp)
+		x.applyCacheFormat(devEng)
+		devEng.Views = snapshotViews(snap)
 
-	report := &Report{Query: p.Query.Name, Strategy: s, DeviceMemory: mp}
-	var tuples []exec.Tuple
-	var fetchDone []vclock.Time
-	first := true
+		hostEng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()})
 
-	emit := func(b device.Batch) {
-		cat := hw.CatWaitFetch
-		spName := "host.wait.fetch"
-		if first {
-			cat = hw.CatWaitInitial
-			spName = "host.wait.initial"
-		}
-		idx := int64(report.Batches)
-		wsp := tr.Start(hostTL, spName).AttrInt("batch", idx)
-		stall := hostTL.WaitUntil(b.Ready, cat)
-		wsp.Attr("stall", stall.String()).End()
-		first = false
-		tsp := tr.Start(hostTL, "host.fetch").AttrInt("batch", idx).AttrInt("bytes", b.Bytes)
-		hostR.Transfer(hostTL, maxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
-		tsp.End()
-		fetchDone = append(fetchDone, hostTL.Now())
-		report.TransferredBytes += b.Bytes
-		report.Batches++
-
-		ev := BatchEvent{
-			Idx:         report.Batches - 1,
-			Bytes:       b.Bytes,
-			DeviceReady: b.Ready,
-			HostFetched: hostTL.Now(),
+		// The two engines share one pipeline: the device owns the inner state
+		// of its join steps, the host owns the rest. Each attempt starts from
+		// a fresh pipeline (and device), so a retried command replays its
+		// builds and scans instead of resuming half-poisoned state.
+		pl, err := hostEng.StartPipeline(p)
+		if err != nil {
+			return nil, dev.TL.Now(), err
 		}
 
-		psp := tr.Start(hostTL, "host.process.batch").AttrInt("batch", idx)
-		if b.LeafAlias != "" {
-			// H0 leaf batch: seed the host join's inner side.
-			psp.Attr("leaf", b.LeafAlias)
-			for si, st := range p.Steps {
-				if st.Right.Ref.Alias == b.LeafAlias {
-					if seedErr := hostEng.SeedInner(pl, si, b.Rows); seedErr != nil && err == nil {
-						err = seedErr
-					}
-					break
-				}
-			}
-			ev.Rows = len(b.Rows)
-		} else {
-			// Driving-chunk batch: run it through the host PQEP.
-			batch := b.Tuples
-			ev.Rows = len(batch)
+		devRoot := tr.Start(dev.TL, "device:"+p.Query.Name).Attr("strategy", s.String()).
+			AttrInt("chunks", int64(cmd.Chunks))
+
+		// (A) NDP invocation.
+		sp := tr.Start(hostTL, "ndp.setup").AttrInt("cmd.bytes", cmd.Bytes())
+		setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
+		hostTL.Charge(hw.CatNDPSetup, setup)
+		sp.End()
+		dsp := tr.Start(dev.TL, "device.setup.wait")
+		dev.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
+		dsp.End()
+
+		// Host prep overlaps the device's initial execution: build the hash
+		// tables of the host-side buffered joins now.
+		hostFrom := 0
+		if split > 0 {
+			hostFrom = split
+		}
+		if split > 0 { // Hk: host joins steps[split:]; inners are host-scanned.
 			for si := hostFrom; si < len(p.Steps); si++ {
-				jsp := tr.Start(hostTL, "host.join").AttrInt("step", int64(si)).
-					AttrInt("in.rows", int64(len(batch)))
-				var jerr error
-				batch, jerr = hostEng.JoinStep(pl, si, batch)
-				jsp.AttrInt("out.rows", int64(len(batch))).End()
-				if jerr != nil && err == nil {
-					err = jerr
+				if p.Steps[si].Type != exec.BNLI {
+					bsp := tr.Start(hostTL, "host.build.inner").
+						Attr("alias", p.Steps[si].Right.Ref.Alias).AttrInt("step", int64(si))
+					_, err := hostEng.BuildInner(pl, si)
+					bsp.End()
+					if err != nil {
+						return nil, dev.TL.Now(), err
+					}
 				}
 			}
-			tuples = append(tuples, batch...)
 		}
-		psp.AttrInt("rows", int64(ev.Rows)).End()
-		if m := x.Metrics; m != nil {
-			m.Histogram("coop.batch.rows", obs.DefaultSizeBuckets).Observe(float64(ev.Rows))
-			m.Histogram("coop.batch.bytes", obs.DefaultSizeBuckets).Observe(float64(b.Bytes))
-		}
-		ev.HostDone = hostTL.Now()
-		report.Timeline = append(report.Timeline, ev)
-	}
-	waitSlot := func(j int) (vclock.Time, bool) {
-		if j < len(fetchDone) {
-			return fetchDone[j], true
-		}
-		return 0, false
-	}
 
-	runErr := dev.Run(cmd, pl, devEng, emit, waitSlot)
-	devRoot.End()
-	if runErr != nil {
-		return nil, runErr
-	}
-	if err != nil {
-		return nil, err
-	}
+		report := &Report{Query: p.Query.Name, Strategy: s, DeviceMemory: mp}
+		var tuples []exec.Tuple
+		var fetchDone []vclock.Time
+		first := true
 
-	fsp := tr.Start(hostTL, "host.finalize").AttrInt("rows", int64(len(tuples)))
-	res, err := hostEng.Finalize(pl, tuples)
-	fsp.End()
-	root.End()
-	if err != nil {
-		return nil, err
-	}
-	x.recordStorage(hostEng)
-	report.Result = res
-	report.Elapsed = vclock.Duration(hostTL.Now())
-	report.DeviceElapsed = vclock.Duration(dev.TL.Now())
-	report.HostAccount = hostTL.Account()
-	report.DeviceAccount = dev.TL.Account()
-	return report, nil
+		emit := func(b device.Batch) error {
+			cat := hw.CatWaitFetch
+			spName := "host.wait.fetch"
+			if first {
+				cat = hw.CatWaitInitial
+				spName = "host.wait.initial"
+			}
+			idx := int64(report.Batches)
+			wsp := tr.Start(hostTL, spName).AttrInt("batch", idx)
+			stall := hostTL.WaitUntil(b.Ready, cat)
+			wsp.Attr("stall", stall.String()).End()
+			first = false
+			tsp := tr.Start(hostTL, "host.fetch").AttrInt("batch", idx).AttrInt("bytes", b.Bytes)
+			hostR.Transfer(hostTL, maxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
+			tsp.End()
+			fetchDone = append(fetchDone, hostTL.Now())
+			report.TransferredBytes += b.Bytes
+			report.Batches++
+			if b.Sum != 0 {
+				// Sealed batch (fault injection active): corrupt in transit
+				// per the plan, then verify the checksum host-side.
+				if inj.TransferCorrupt() {
+					b.CorruptInTransfer()
+				}
+				if verr := b.Verify(); verr != nil {
+					return fmt.Errorf("batch %d: %w", idx, verr)
+				}
+			}
+
+			ev := BatchEvent{
+				Idx:         report.Batches - 1,
+				Bytes:       b.Bytes,
+				DeviceReady: b.Ready,
+				HostFetched: hostTL.Now(),
+			}
+
+			psp := tr.Start(hostTL, "host.process.batch").AttrInt("batch", idx)
+			if b.LeafAlias != "" {
+				// H0 leaf batch: seed the host join's inner side.
+				psp.Attr("leaf", b.LeafAlias)
+				for si, st := range p.Steps {
+					if st.Right.Ref.Alias == b.LeafAlias {
+						if seedErr := hostEng.SeedInner(pl, si, b.Rows); seedErr != nil {
+							psp.End()
+							return seedErr
+						}
+						break
+					}
+				}
+				ev.Rows = len(b.Rows)
+			} else {
+				// Driving-chunk batch: run it through the host PQEP.
+				batch := b.Tuples
+				ev.Rows = len(batch)
+				for si := hostFrom; si < len(p.Steps); si++ {
+					jsp := tr.Start(hostTL, "host.join").AttrInt("step", int64(si)).
+						AttrInt("in.rows", int64(len(batch)))
+					var jerr error
+					batch, jerr = hostEng.JoinStep(pl, si, batch)
+					jsp.AttrInt("out.rows", int64(len(batch))).End()
+					if jerr != nil {
+						psp.End()
+						return jerr
+					}
+				}
+				tuples = append(tuples, batch...)
+			}
+			psp.AttrInt("rows", int64(ev.Rows)).End()
+			if m := x.Metrics; m != nil {
+				m.Histogram("coop.batch.rows", obs.DefaultSizeBuckets).Observe(float64(ev.Rows))
+				m.Histogram("coop.batch.bytes", obs.DefaultSizeBuckets).Observe(float64(b.Bytes))
+			}
+			ev.HostDone = hostTL.Now()
+			report.Timeline = append(report.Timeline, ev)
+			return nil
+		}
+		waitSlot := func(j int) (vclock.Time, bool) {
+			if j < len(fetchDone) {
+				return fetchDone[j], true
+			}
+			return 0, false
+		}
+
+		runErr := dev.Run(cmd, pl, devEng, emit, waitSlot)
+		devRoot.End()
+		if runErr != nil {
+			return nil, dev.TL.Now(), runErr
+		}
+
+		fsp := tr.Start(hostTL, "host.finalize").AttrInt("rows", int64(len(tuples)))
+		res, err := hostEng.Finalize(pl, tuples)
+		fsp.End()
+		if err != nil {
+			return nil, dev.TL.Now(), err
+		}
+		x.recordStorage(hostEng)
+		report.Result = res
+		report.Elapsed = vclock.Duration(hostTL.Now())
+		report.DeviceElapsed = vclock.Duration(dev.TL.Now())
+		report.HostAccount = hostTL.Account()
+		report.DeviceAccount = dev.TL.Account()
+		return report, dev.TL.Now(), nil
+	})
 }
 
 // snapshotViews extracts the frozen per-table views from the shared-state

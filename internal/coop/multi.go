@@ -131,7 +131,6 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 	sort.SliceStable(all, func(i, j int) bool { return all[i].b.Ready < all[j].b.Ready })
 	var tuples []exec.Tuple
 	first := true
-	var emitErr error
 	for _, tb := range all {
 		cat := hw.CatWaitFetch
 		if first {
@@ -151,8 +150,8 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 				if st.Right.Ref.Alias == tb.b.LeafAlias {
 					// Leaf rows arrive partitioned per device; seeding
 					// accumulates across devices via AppendInner.
-					if err := hostEng.AppendInner(pl, si, tb.b.Rows); err != nil && emitErr == nil {
-						emitErr = err
+					if err := hostEng.AppendInner(pl, si, tb.b.Rows); err != nil {
+						return nil, err
 					}
 					break
 				}
@@ -164,17 +163,14 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 			for si := hostFrom; si < len(p.Steps); si++ {
 				var jerr error
 				batch, jerr = hostEng.JoinStep(pl, si, batch)
-				if jerr != nil && emitErr == nil {
-					emitErr = jerr
+				if jerr != nil {
+					return nil, jerr
 				}
 			}
 			tuples = append(tuples, batch...)
 		}
 		ev.HostDone = hostTL.Now()
 		mr.Timeline = append(mr.Timeline, ev)
-	}
-	if emitErr != nil {
-		return nil, emitErr
 	}
 
 	res, err := hostEng.Finalize(pl, tuples)

@@ -7,15 +7,35 @@
 package device
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
 
 	"hybridndp/internal/exec"
+	"hybridndp/internal/fault"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/lsm"
 	"hybridndp/internal/obs"
 	"hybridndp/internal/table"
 	"hybridndp/internal/vclock"
+)
+
+// Typed device errors. The crash/corruption sentinels are re-exported from
+// internal/fault so recovery code can errors.Is against either package.
+var (
+	// ErrDeviceCrash is a mid-command device crash (injected).
+	ErrDeviceCrash = fault.ErrDeviceCrash
+	// ErrCorruptBatch is a result batch whose checksum failed verification.
+	ErrCorruptBatch = fault.ErrCorruptBatch
+	// ErrDeviceBusy signals that no device can admit the command right now
+	// (all NDP command slots taken or every breaker open).
+	ErrDeviceBusy = errors.New("device: no NDP command slot available")
+	// ErrMemoryBudget signals a command whose memory plan exceeds the NDP
+	// DRAM budget.
+	ErrMemoryBudget = errors.New("device: NDP memory plan exceeds budget")
+	// ErrBadSplit signals a split point past the plan's join count.
+	ErrBadSplit = errors.New("device: split exceeds join steps")
 )
 
 // Command is one NDP invocation: the offloaded partial plan plus everything
@@ -58,6 +78,78 @@ type Batch struct {
 	LeafAlias string
 	Rows      [][]byte // leaf rows for H0 batches
 	Last      bool
+	// Sum is the payload checksum sealed by the device before the slot is
+	// published and verified by the host after the fetch. 0 = unsealed
+	// (fault injection disabled): verification is skipped, so fault-free
+	// runs pay no checksum cost and stay byte-identical.
+	Sum uint64
+}
+
+// corruptMask is the bit pattern injected corruption XORs into a sealed
+// checksum — any non-zero mask makes Verify fail.
+const corruptMask = 0xdeadbeefcafef00d
+
+// Checksum hashes the batch payload (FNV-1a over tuples/rows with length
+// framing). It is a simulation-level integrity check, not charged to any
+// timeline: real hardware folds CRC into the DMA engine.
+func (b *Batch) Checksum() uint64 {
+	h := fnv.New64a()
+	var frame [8]byte
+	writeLen := func(n int) {
+		frame[0] = byte(n)
+		frame[1] = byte(n >> 8)
+		frame[2] = byte(n >> 16)
+		frame[3] = byte(n >> 24)
+		h.Write(frame[:4])
+	}
+	writeLen(len(b.Tuples))
+	for _, t := range b.Tuples {
+		writeLen(len(t))
+		for _, pos := range t {
+			writeLen(len(pos))
+			h.Write(pos)
+		}
+	}
+	writeLen(len(b.Rows))
+	for _, r := range b.Rows {
+		writeLen(len(r))
+		h.Write(r)
+	}
+	h.Write([]byte(b.LeafAlias))
+	sum := h.Sum64()
+	if sum == 0 {
+		sum = 1 // 0 is reserved for "unsealed"
+	}
+	return sum
+}
+
+// Seal stamps the batch with its checksum; corrupt simulates device-side
+// payload corruption by sealing a flipped sum.
+func (b *Batch) Seal(corrupt bool) {
+	b.Sum = b.Checksum()
+	if corrupt {
+		b.Sum ^= corruptMask
+	}
+}
+
+// CorruptInTransfer simulates interconnect corruption during the host fetch
+// of a sealed batch (no-op on unsealed batches).
+func (b *Batch) CorruptInTransfer() {
+	if b.Sum != 0 {
+		b.Sum ^= corruptMask
+	}
+}
+
+// Verify re-hashes the payload against the sealed checksum. Unsealed batches
+// (Sum 0, faults disabled) pass unconditionally.
+func (b *Batch) Verify() error {
+	if b.Sum == 0 {
+		return nil
+	}
+	if got := b.Checksum(); got != b.Sum {
+		return fmt.Errorf("device: checksum %#x != sealed %#x: %w", got, b.Sum, ErrCorruptBatch)
+	}
+	return nil
 }
 
 // MemoryPlan is the device DRAM ledger for one command (paper §5 memory
@@ -117,6 +209,10 @@ type Device struct {
 	// Metrics receives device counters (scan volume, batches, slot stalls).
 	// Nil disables them.
 	Metrics *obs.Registry
+	// Faults, when set, injects crash/stall/corruption faults into this
+	// run's batch-emit path and flash read errors into the device engine.
+	// Per-run state like Trace: the caller attaches one injector per run.
+	Faults *fault.Injector
 }
 
 // New creates a device bound to the catalog (whose flash it reads directly).
@@ -129,7 +225,7 @@ func New(m hw.Model, cat *table.Catalog) *Device {
 // data-block buffer cache carved out of the temporary-storage reservation.
 func (d *Device) Engine(mp MemoryPlan) *exec.Engine {
 	cacheBytes := int64(float64(d.Cat.DB().Flash().Used()) * d.Model.DeviceCacheFraction)
-	return &exec.Engine{
+	eng := &exec.Engine{
 		Cat:          d.Cat,
 		TL:           d.TL,
 		R:            hw.DeviceRates(d.Model),
@@ -138,6 +234,12 @@ func (d *Device) Engine(mp MemoryPlan) *exec.Engine {
 		SelBuf:       d.Model.SelBufBytes,
 		PointerCache: mp.UsesPointerFmt,
 	}
+	if d.Faults != nil {
+		// Only assign a live injector: a typed-nil interface would defeat
+		// the inj != nil fast path in the flash layer.
+		eng.Faults = d.Faults
+	}
+	return eng
 }
 
 // Run executes the command's device part, calling emit for every produced
@@ -145,13 +247,27 @@ func (d *Device) Engine(mp MemoryPlan) *exec.Engine {
 // buffer slots are occupied: it returns the host fetch-completion time of
 // batch j-slots, and the device stalls until then (paper §4.1: "the smart
 // storage stalls and waits for the host-engine"). Both callbacks run
-// synchronously; batches are emitted in production order.
+// synchronously; batches are emitted in production order. A non-nil error
+// from emit aborts the run (the host rejected the batch); with d.Faults set,
+// an injected crash aborts before the batch is emitted.
 func (d *Device) Run(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
-	emit func(Batch), waitSlot func(batchIdx int) (vclock.Time, bool)) error {
+	emit func(Batch) error, waitSlot func(batchIdx int) (vclock.Time, bool)) error {
 
 	slots := d.Model.SharedSlots
 	produced := 0
-	emitBatch := func(b Batch) {
+	emitBatch := func(b Batch) error {
+		if d.Faults != nil {
+			ev := d.Faults.BeforeEmit()
+			if ev.Stall > 0 {
+				// Firmware hiccup: extra device latency before the slot is
+				// produced, charged to the device timeline.
+				d.TL.Charge(hw.CatFaultStall, ev.Stall)
+			}
+			if ev.Crash != nil {
+				return fmt.Errorf("device: batch %d: %w", produced, ev.Crash)
+			}
+			b.Seal(ev.Corrupt)
+		}
 		if produced >= slots {
 			if t, ok := waitSlot(produced - slots); ok {
 				// All shared buffer slots are occupied: the device stalls
@@ -166,8 +282,11 @@ func (d *Device) Run(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 		}
 		b.Ready = d.TL.Now()
 		d.Metrics.Counter("device.batches").Inc()
-		emit(b)
+		if err := emit(b); err != nil {
+			return err
+		}
 		produced++
+		return nil
 	}
 
 	p := cmd.Plan
@@ -184,11 +303,13 @@ func (d *Device) Run(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 					return err
 				}
 				d.recordScan(int64(len(rows)), int64(len(rows))*width)
-				emitBatch(Batch{
+				if err := emitBatch(Batch{
 					LeafAlias: st.Right.Ref.Alias,
 					Rows:      rows,
 					Bytes:     int64(len(rows)) * width,
-				})
+				}); err != nil {
+					return err
+				}
 			}
 			return d.streamDriving(cmd, pl, eng, 0, emitBatch)
 		}
@@ -221,7 +342,7 @@ func (d *Device) recordScan(rows, bytes int64) {
 // streamDriving partitions the driving table into chunks by primary-key
 // ranges and pushes each chunk through the first devSteps join steps.
 func (d *Device) streamDriving(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
-	devSteps int, emitBatch func(Batch)) error {
+	devSteps int, emitBatch func(Batch) error) error {
 	return d.streamDrivingRange(cmd, pl, eng, devSteps, nil, nil, emitBatch)
 }
 
@@ -235,9 +356,12 @@ func (d *Device) streamDriving(cmd *Command, pl *exec.Pipeline, eng *exec.Engine
 func (d *Device) RunPartition(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 	lo, hi *int32, emit func(Batch)) error {
 
-	emitBatch := func(b Batch) {
+	// Fault injection targets the single-device cooperative path (Run); the
+	// multi-device merge path keeps a void emit and no injection hooks.
+	emitBatch := func(b Batch) error {
 		b.Ready = d.TL.Now()
 		emit(b)
+		return nil
 	}
 	devSteps := cmd.SplitAfter
 	if devSteps < 0 {
@@ -247,11 +371,13 @@ func (d *Device) RunPartition(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 				if err != nil {
 					return err
 				}
-				emitBatch(Batch{
+				if err := emitBatch(Batch{
 					LeafAlias: st.Right.Ref.Alias,
 					Rows:      rows,
 					Bytes:     int64(len(rows)) * width,
-				})
+				}); err != nil {
+					return err
+				}
 			}
 		}
 		devSteps = 0
@@ -261,7 +387,7 @@ func (d *Device) RunPartition(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 
 // streamDrivingRange is streamDriving clipped to [loPart, hiPart).
 func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
-	devSteps int, loPart, hiPart *int32, emitBatch func(Batch)) error {
+	devSteps int, loPart, hiPart *int32, emitBatch func(Batch) error) error {
 
 	p := cmd.Plan
 	bounds, err := d.chunkBounds(p.Driving.Ref.Table, cmd.Chunks)
@@ -273,15 +399,16 @@ func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.E
 	slot := d.Model.SharedBufferSlot
 	var acc []exec.Tuple
 	var accBytes int64
-	flush := func(last bool) {
+	flush := func(last bool) error {
 		if len(acc) == 0 && !last {
 			// An empty intermediate result set occupies no buffer slot and
 			// is not transferred.
-			return
+			return nil
 		}
-		emitBatch(Batch{Tuples: acc, Bytes: accBytes, Last: last})
+		err := emitBatch(Batch{Tuples: acc, Bytes: accBytes, Last: last})
 		acc = nil
 		accBytes = 0
+		return err
 	}
 	// The chunk's rows stream through the device joins in bounded pieces
 	// (the volcano pipeline over per-operation caches of paper Fig. 8): each
@@ -297,7 +424,7 @@ func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.E
 			acc = append(acc, tuples...)
 			accBytes += int64(len(tuples)) * width
 			if accBytes >= slot {
-				flush(false)
+				return flush(false)
 			}
 			return nil
 		}
@@ -343,8 +470,7 @@ func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.E
 		}
 		csp.End()
 	}
-	flush(true)
-	return nil
+	return flush(true)
 }
 
 // chunkBounds derives n chunk boundaries from the primary-key quantiles of
@@ -409,11 +535,11 @@ func sortInt32(s []int32) {
 func (d *Device) Validate(cmd *Command) error {
 	mp := PlanMemory(d.Model, cmd.Plan, cmd.SplitAfter)
 	if !mp.Fits() {
-		return fmt.Errorf("device: NDP memory plan (%d MB for %d selections, %d secondary, %d joins) exceeds budget (%d MB)",
-			mp.TotalBytes>>20, mp.Selections, mp.SecondaryIdx, mp.Joins, mp.BudgetBytes>>20)
+		return fmt.Errorf("%w: NDP memory plan (%d MB for %d selections, %d secondary, %d joins) exceeds budget (%d MB)",
+			ErrMemoryBudget, mp.TotalBytes>>20, mp.Selections, mp.SecondaryIdx, mp.Joins, mp.BudgetBytes>>20)
 	}
 	if cmd.SplitAfter > len(cmd.Plan.Steps) {
-		return fmt.Errorf("device: split after %d exceeds %d join steps", cmd.SplitAfter, len(cmd.Plan.Steps))
+		return fmt.Errorf("%w: split after %d exceeds %d join steps", ErrBadSplit, cmd.SplitAfter, len(cmd.Plan.Steps))
 	}
 	return nil
 }

@@ -131,7 +131,7 @@ func TestRunH0EmitsLeavesThenDrivingChunks(t *testing.T) {
 	var leafBatches, chunkBatches int
 	sawChunk := false
 	var lastReady vclock.Time
-	emit := func(b device.Batch) {
+	emit := func(b device.Batch) error {
 		if b.Ready < lastReady {
 			t.Fatal("batch timestamps must be monotone")
 		}
@@ -148,6 +148,7 @@ func TestRunH0EmitsLeavesThenDrivingChunks(t *testing.T) {
 			sawChunk = true
 			chunkBatches++
 		}
+		return nil
 	}
 	if err := d.Run(cmd, pl, eng, emit, func(int) (vclock.Time, bool) { return 0, false }); err != nil {
 		t.Fatal(err)
@@ -176,13 +177,14 @@ func TestRunHkProducesJoinedTuples(t *testing.T) {
 		t.Fatal(err)
 	}
 	total := 0
-	emit := func(b device.Batch) {
+	emit := func(b device.Batch) error {
 		for _, tu := range b.Tuples {
 			if len(tu) != split+1 {
 				t.Fatalf("tuple spans %d tables, want %d", len(tu), split+1)
 			}
 		}
 		total += len(b.Tuples)
+		return nil
 	}
 	if err := d.Run(cmd, pl, eng, emit, func(int) (vclock.Time, bool) { return 0, false }); err != nil {
 		t.Fatal(err)
@@ -216,8 +218,9 @@ func TestWaitSlotBackPressure(t *testing.T) {
 	// slot forces the device to stall between batches.
 	var ready []vclock.Time
 	slack := vclock.Time(0)
-	emit := func(b device.Batch) {
+	emit := func(b device.Batch) error {
 		ready = append(ready, b.Ready)
+		return nil
 	}
 	waitSlot := func(j int) (vclock.Time, bool) {
 		if j < len(ready) {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"hybridndp/internal/flash"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/lsm"
 	"hybridndp/internal/table"
@@ -35,11 +36,14 @@ type Engine struct {
 	// PointerCache stores intermediate results as pointers instead of
 	// copied rows (paper §4.2 cache structure optimization).
 	PointerCache bool
+	// Faults, when set, injects flash read failures into this engine's
+	// storage accesses (chaos runs; see internal/fault).
+	Faults flash.Faults
 }
 
 // Access returns the engine's LSM access context.
 func (e *Engine) Access() lsm.Access {
-	return lsm.Access{TL: e.TL, R: e.R, Cache: e.Cache, Bloom: e.Bloom}
+	return lsm.Access{TL: e.TL, R: e.R, Cache: e.Cache, Bloom: e.Bloom, Faults: e.Faults}
 }
 
 // viewOf returns the frozen view for a table, if the engine reads through a

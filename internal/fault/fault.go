@@ -1,0 +1,345 @@
+// Package fault is the seeded, virtual-time fault-injection subsystem: a
+// Plan parsed from a compact spec string ("flash.read.err=0.01,dev.crash@batch=7,
+// slot.corrupt=0.005,dev.stall=2ms") drives injection hooks in the flash read
+// path, the device batch-emit path and the interconnect transfer path. Every
+// probabilistic draw comes from a per-run *rand.Rand derived from the plan
+// seed and the run key, so the same seed + spec + workload reproduces the
+// exact same fault episode regardless of wall-clock concurrency — chaos runs
+// stay byte-identical, the determinism discipline of the rest of the repro.
+// Injected delays are charged to virtual timelines by the call sites; this
+// package never touches wall time.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hybridndp/internal/flash"
+	"hybridndp/internal/obs"
+	"hybridndp/internal/vclock"
+)
+
+// Typed fault sentinels. Every injected failure wraps ErrInjected, so
+// recovery code can distinguish "the simulated hardware failed" (retry /
+// fall back) from a real execution error (propagate) with one errors.Is.
+var (
+	// ErrInjected is the base sentinel every injected fault wraps.
+	ErrInjected = errors.New("fault: injected")
+	// ErrFlashRead is a simulated uncorrectable flash read error (post-ECC).
+	ErrFlashRead = fmt.Errorf("flash read error: %w", ErrInjected)
+	// ErrDeviceCrash is a simulated mid-command device crash: the NDP command
+	// dies before emitting its next batch and the device must be re-invoked.
+	ErrDeviceCrash = fmt.Errorf("device crash: %w", ErrInjected)
+	// ErrCorruptBatch is a checksum mismatch on a delivered result batch
+	// (corrupted on device or in transit over the interconnect).
+	ErrCorruptBatch = fmt.Errorf("corrupt batch: %w", ErrInjected)
+)
+
+// Injected reports whether err stems from an injected fault (and is therefore
+// recoverable by retry / host fallback rather than a plan or engine bug).
+func Injected(err error) bool { return errors.Is(err, ErrInjected) }
+
+// Plan is a parsed fault specification. The zero value injects nothing.
+// Plans are immutable after Parse and safe to share across concurrent runs;
+// all mutable per-run state lives in the Injector.
+type Plan struct {
+	// Seed derives every per-run rng (combined with the run key).
+	Seed int64
+	// FlashReadErr is the per-read probability of an uncorrectable flash
+	// read error ("flash.read.err=P").
+	FlashReadErr float64
+	// CrashProb is the per-batch probability that the device crashes before
+	// emitting ("dev.crash=P").
+	CrashProb float64
+	// CrashAtBatch crashes the device deterministically before emitting the
+	// 0-based batch with this index ("dev.crash@batch=N"); -1 disables.
+	CrashAtBatch int
+	// SlotCorrupt is the per-batch probability that the device corrupts the
+	// payload before sealing the slot ("slot.corrupt=P").
+	SlotCorrupt float64
+	// XferCorrupt is the per-batch probability that the interconnect flips
+	// bits during the host fetch ("xfer.corrupt=P").
+	XferCorrupt float64
+	// DevStall is an extra device-side latency charged before every emitted
+	// batch ("dev.stall=2ms") — a firmware hiccup, not a failure.
+	DevStall vclock.Duration
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.FlashReadErr > 0 || p.CrashProb > 0 || p.CrashAtBatch >= 0 ||
+		p.SlotCorrupt > 0 || p.XferCorrupt > 0 || p.DevStall > 0
+}
+
+// Parse parses a comma-separated fault spec. Recognized keys:
+//
+//	flash.read.err=P    uncorrectable flash read probability per read
+//	dev.crash=P         device crash probability per batch
+//	dev.crash@batch=N   deterministic crash before 0-based batch N
+//	slot.corrupt=P      device-side payload corruption probability per batch
+//	xfer.corrupt=P      interconnect corruption probability per batch
+//	dev.stall=DUR       extra device latency per batch (ns/us/µs/ms/s)
+//
+// An empty spec yields a disabled plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{CrashAtBatch: -1}
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "flash.read.err":
+			if err := parseProb(val, &p.FlashReadErr); err != nil {
+				return nil, fmt.Errorf("fault: %s: %w", key, err)
+			}
+		case "dev.crash":
+			if err := parseProb(val, &p.CrashProb); err != nil {
+				return nil, fmt.Errorf("fault: %s: %w", key, err)
+			}
+		case "dev.crash@batch":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: dev.crash@batch needs a batch index ≥ 0, got %q", val)
+			}
+			p.CrashAtBatch = n
+		case "slot.corrupt":
+			if err := parseProb(val, &p.SlotCorrupt); err != nil {
+				return nil, fmt.Errorf("fault: %s: %w", key, err)
+			}
+		case "xfer.corrupt":
+			if err := parseProb(val, &p.XferCorrupt); err != nil {
+				return nil, fmt.Errorf("fault: %s: %w", key, err)
+			}
+		case "dev.stall":
+			d, err := parseDur(val)
+			if err != nil {
+				return nil, fmt.Errorf("fault: dev.stall: %w", err)
+			}
+			p.DevStall = d
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: seed: %w", err)
+			}
+			p.Seed = n
+		default:
+			return nil, fmt.Errorf("fault: unknown fault key %q", key)
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan back as a canonical spec (sorted key order,
+// disabled entries omitted). Parse(p.String()) round-trips.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.FlashReadErr > 0 {
+		parts = append(parts, "flash.read.err="+formatProb(p.FlashReadErr))
+	}
+	if p.CrashProb > 0 {
+		parts = append(parts, "dev.crash="+formatProb(p.CrashProb))
+	}
+	if p.CrashAtBatch >= 0 {
+		parts = append(parts, "dev.crash@batch="+strconv.Itoa(p.CrashAtBatch))
+	}
+	if p.SlotCorrupt > 0 {
+		parts = append(parts, "slot.corrupt="+formatProb(p.SlotCorrupt))
+	}
+	if p.XferCorrupt > 0 {
+		parts = append(parts, "xfer.corrupt="+formatProb(p.XferCorrupt))
+	}
+	if p.DevStall > 0 {
+		parts = append(parts, "dev.stall="+formatDur(p.DevStall))
+	}
+	if p.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func parseProb(val string, out *float64) error {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f < 0 || f > 1 {
+		return fmt.Errorf("needs a probability in [0,1], got %q", val)
+	}
+	*out = f
+	return nil
+}
+
+func formatProb(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// parseDur parses a duration with ns/us/µs/ms/s suffix straight into virtual
+// nanoseconds. Deliberately not time.ParseDuration: fault specs describe
+// virtual time, and the vtunits analyzer bans time.Duration→vclock crossings
+// outside vclock itself.
+func parseDur(val string) (vclock.Duration, error) {
+	var mult float64
+	var num string
+	switch {
+	case strings.HasSuffix(val, "ns"):
+		mult, num = 1, strings.TrimSuffix(val, "ns")
+	case strings.HasSuffix(val, "µs"):
+		mult, num = 1e3, strings.TrimSuffix(val, "µs")
+	case strings.HasSuffix(val, "us"):
+		mult, num = 1e3, strings.TrimSuffix(val, "us")
+	case strings.HasSuffix(val, "ms"):
+		mult, num = 1e6, strings.TrimSuffix(val, "ms")
+	case strings.HasSuffix(val, "s"):
+		mult, num = 1e9, strings.TrimSuffix(val, "s")
+	default:
+		return 0, fmt.Errorf("duration %q needs a ns/us/ms/s suffix", val)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("bad duration %q", val)
+	}
+	return vclock.Duration(f * mult), nil
+}
+
+func formatDur(d vclock.Duration) string {
+	switch {
+	case d >= 1e9 && float64(d/1e9) == float64(int64(d/1e9)):
+		return strconv.FormatFloat(float64(d)/1e9, 'g', -1, 64) + "s"
+	case d >= 1e6 && float64(d/1e6) == float64(int64(d/1e6)):
+		return strconv.FormatFloat(float64(d)/1e6, 'g', -1, 64) + "ms"
+	case d >= 1e3 && float64(d/1e3) == float64(int64(d/1e3)):
+		return strconv.FormatFloat(float64(d)/1e3, 'g', -1, 64) + "us"
+	default:
+		return strconv.FormatFloat(float64(d), 'g', -1, 64) + "ns"
+	}
+}
+
+// EmitFault is the injector's verdict for one about-to-be-emitted batch.
+type EmitFault struct {
+	// Stall is extra device latency to charge before the slot seals.
+	Stall vclock.Duration
+	// Corrupt flips the batch checksum on the device side.
+	Corrupt bool
+	// Crash, when non-nil, kills the command before the batch is emitted
+	// (wraps ErrDeviceCrash).
+	Crash error
+}
+
+// Injector is the per-run mutable state of a fault plan: one seeded rng plus
+// metric counters. Create one per executed query run via Plan.Injector; an
+// injector is owned by that run's goroutine and is not safe for concurrent
+// use. All methods are nil-receiver-safe (a nil injector injects nothing),
+// so fault-free paths stay branch-cheap.
+type Injector struct {
+	plan *Plan
+	rng  *rand.Rand
+	// Metrics, when set, counts every injected fault under
+	// "coop.fault.injected" (total and per kind).
+	Metrics *obs.Registry
+	// batches counts batches seen by BeforeEmit, for dev.crash@batch.
+	batches int
+}
+
+// Injector derives the per-run injector for the given run key (query name +
+// strategy label). A nil or disabled plan returns a nil injector.
+func (p *Plan) Injector(key string) *Injector {
+	if !p.Enabled() {
+		return nil
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	const mix = uint64(0x9e3779b97f4a7c15) // golden-ratio odd constant
+	seed := int64(h.Sum64() ^ (uint64(p.Seed) * mix))
+	return &Injector{plan: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Bind attaches a metrics registry (nil-safe on both sides).
+func (in *Injector) Bind(m *obs.Registry) *Injector {
+	if in != nil {
+		in.Metrics = m
+	}
+	return in
+}
+
+func (in *Injector) count(kind string) {
+	if in.Metrics == nil {
+		return
+	}
+	in.Metrics.Counter("coop.fault.injected").Inc()
+	in.Metrics.Counter("coop.fault.injected." + kind).Inc()
+}
+
+// ReadFault implements flash.Faults: it decides whether this flash read
+// fails with a simulated uncorrectable error. The caller has already charged
+// the read's virtual time — a failed read still occupied the channel.
+func (in *Injector) ReadFault(id flash.FileID, off, length int64) error {
+	if in == nil || in.plan.FlashReadErr <= 0 {
+		return nil
+	}
+	if in.rng.Float64() < in.plan.FlashReadErr {
+		in.count("flash.read")
+		return fmt.Errorf("fault: flash read file %d [%d,%d): %w", id, off, off+length, ErrFlashRead)
+	}
+	return nil
+}
+
+// BeforeEmit decides the fate of the next batch the device wants to emit:
+// an extra stall, device-side payload corruption, or a crash. Draw order is
+// fixed (stall, crash, corrupt) so episodes are reproducible.
+func (in *Injector) BeforeEmit() EmitFault {
+	if in == nil {
+		return EmitFault{}
+	}
+	idx := in.batches
+	in.batches++
+	var ev EmitFault
+	if in.plan.DevStall > 0 {
+		ev.Stall = in.plan.DevStall
+		in.count("dev.stall")
+	}
+	if in.plan.CrashAtBatch >= 0 && idx == in.plan.CrashAtBatch {
+		in.count("dev.crash")
+		ev.Crash = fmt.Errorf("fault: before batch %d: %w", idx, ErrDeviceCrash)
+		return ev
+	}
+	if in.plan.CrashProb > 0 && in.rng.Float64() < in.plan.CrashProb {
+		in.count("dev.crash")
+		ev.Crash = fmt.Errorf("fault: before batch %d: %w", idx, ErrDeviceCrash)
+		return ev
+	}
+	if in.plan.SlotCorrupt > 0 && in.rng.Float64() < in.plan.SlotCorrupt {
+		in.count("slot.corrupt")
+		ev.Corrupt = true
+	}
+	return ev
+}
+
+// TransferCorrupt decides whether the interconnect corrupts the batch during
+// the host fetch.
+func (in *Injector) TransferCorrupt() bool {
+	if in == nil || in.plan.XferCorrupt <= 0 {
+		return false
+	}
+	if in.rng.Float64() < in.plan.XferCorrupt {
+		in.count("xfer.corrupt")
+		return true
+	}
+	return false
+}

@@ -8,6 +8,7 @@
 package flash
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -17,6 +18,25 @@ import (
 
 // FileID identifies one stored blob (one SST file).
 type FileID uint64
+
+// Typed flash errors, errors.Is-able through the fmt.Errorf wrapping at the
+// return sites.
+var (
+	// ErrNotExist is returned for reads of deleted or never-written files.
+	ErrNotExist = errors.New("flash: file does not exist")
+	// ErrOutOfBounds is returned for reads past a file's end.
+	ErrOutOfBounds = errors.New("flash: read out of bounds")
+	// ErrCapacity is returned when a write would exceed the configured
+	// capacity.
+	ErrCapacity = errors.New("flash: capacity exceeded")
+)
+
+// Faults optionally injects read failures into the flash path (implemented
+// by fault.Injector). The hook fires after the read's virtual time has been
+// charged: a failed read still occupied the flash channel.
+type Faults interface {
+	ReadFault(id FileID, off, length int64) error
+}
 
 // Stats counts physical flash activity.
 type Stats struct {
@@ -83,7 +103,7 @@ func (f *Flash) WriteFile(data []byte, tl *vclock.Timeline, r hw.Rates) (FileID,
 	defer f.mu.Unlock()
 	sz := f.align(int64(len(data)))
 	if f.capacity > 0 && f.used+sz > f.capacity {
-		return 0, fmt.Errorf("flash: capacity exceeded (%d used + %d > %d)", f.used, sz, f.capacity)
+		return 0, fmt.Errorf("%w (%d used + %d > %d)", ErrCapacity, f.used, sz, f.capacity)
 	}
 	f.next++
 	id := f.next
@@ -121,27 +141,28 @@ func (f *Flash) Size(id FileID) int64 {
 // ReadAt returns length bytes of file id starting at off and charges the read
 // to tl at rates r: one random page seek plus streaming for the pages
 // touched. The returned slice aliases the stored blob and must be treated as
-// read-only.
-func (f *Flash) ReadAt(id FileID, off, length int64, tl *vclock.Timeline, r hw.Rates) ([]byte, error) {
-	return f.read(id, off, length, tl, r, false)
+// read-only. A non-nil inj may turn the read into an injected failure after
+// the time is charged.
+func (f *Flash) ReadAt(id FileID, off, length int64, tl *vclock.Timeline, r hw.Rates, inj Faults) ([]byte, error) {
+	return f.read(id, off, length, tl, r, false, inj)
 }
 
 // ReadAtSeq is ReadAt for sequential continuation reads: the flash channel
 // pipeline hides the page latency behind the previous transfer, so only
 // streaming bandwidth is charged.
-func (f *Flash) ReadAtSeq(id FileID, off, length int64, tl *vclock.Timeline, r hw.Rates) ([]byte, error) {
-	return f.read(id, off, length, tl, r, true)
+func (f *Flash) ReadAtSeq(id FileID, off, length int64, tl *vclock.Timeline, r hw.Rates, inj Faults) ([]byte, error) {
+	return f.read(id, off, length, tl, r, true, inj)
 }
 
-func (f *Flash) read(id FileID, off, length int64, tl *vclock.Timeline, r hw.Rates, sequential bool) ([]byte, error) {
+func (f *Flash) read(id FileID, off, length int64, tl *vclock.Timeline, r hw.Rates, sequential bool, inj Faults) ([]byte, error) {
 	f.mu.RLock()
 	data, ok := f.files[id]
 	f.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("flash: file %d does not exist", id)
+		return nil, fmt.Errorf("%w: file %d", ErrNotExist, id)
 	}
 	if off < 0 || off+length > int64(len(data)) {
-		return nil, fmt.Errorf("flash: read [%d,%d) out of bounds of file %d (%d bytes)", off, off+length, id, len(data))
+		return nil, fmt.Errorf("%w: [%d,%d) of file %d (%d bytes)", ErrOutOfBounds, off, off+length, id, len(data))
 	}
 	firstPage := off / f.pageBytes
 	lastPage := (off + length - 1) / f.pageBytes
@@ -168,6 +189,13 @@ func (f *Flash) read(id FileID, off, length int64, tl *vclock.Timeline, r hw.Rat
 			r.FlashRead(tl, pages*f.pageBytes, 1)
 		}
 	}
+	if inj != nil {
+		// The fault fires after the charge: an uncorrectable read still
+		// occupied the channel for its full span before ECC gave up.
+		if err := inj.ReadFault(id, off, length); err != nil {
+			return nil, err
+		}
+	}
 	return data[off : off+length], nil
 }
 
@@ -187,11 +215,12 @@ func (f *Flash) Root() FileID {
 	return f.root
 }
 
-// ReadFile returns the whole file, charged as one sequential read.
+// ReadFile returns the whole file, charged as one sequential read. Recovery
+// and manifest reads go through here, outside the fault-injection surface.
 func (f *Flash) ReadFile(id FileID, tl *vclock.Timeline, r hw.Rates) ([]byte, error) {
 	sz := f.Size(id)
 	if sz < 0 {
-		return nil, fmt.Errorf("flash: file %d does not exist", id)
+		return nil, fmt.Errorf("%w: file %d", ErrNotExist, id)
 	}
-	return f.ReadAt(id, 0, sz, tl, r)
+	return f.ReadAt(id, 0, sz, tl, r, nil)
 }

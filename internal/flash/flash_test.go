@@ -2,6 +2,7 @@ package flash
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"hybridndp/internal/hw"
@@ -30,7 +31,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if !bytes.Equal(got, data) {
 		t.Fatal("read-back mismatch")
 	}
-	part, err := f.ReadAt(id, 5000, 1234, nil, hw.Rates{})
+	part, err := f.ReadAt(id, 5000, 1234, nil, hw.Rates{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,17 +43,78 @@ func TestWriteReadRoundTrip(t *testing.T) {
 func TestReadBounds(t *testing.T) {
 	f := New(hw.Cosmos(), 0)
 	id, _ := f.WriteFile(blob(1000), nil, hw.Rates{})
-	if _, err := f.ReadAt(id, 900, 200, nil, hw.Rates{}); err == nil {
+	if _, err := f.ReadAt(id, 900, 200, nil, hw.Rates{}, nil); err == nil {
 		t.Fatal("out-of-bounds read must fail")
 	}
-	if _, err := f.ReadAt(id, -1, 10, nil, hw.Rates{}); err == nil {
+	if _, err := f.ReadAt(id, -1, 10, nil, hw.Rates{}, nil); err == nil {
 		t.Fatal("negative offset must fail")
 	}
-	if _, err := f.ReadAt(999, 0, 10, nil, hw.Rates{}); err == nil {
+	if _, err := f.ReadAt(999, 0, 10, nil, hw.Rates{}, nil); err == nil {
 		t.Fatal("missing file must fail")
 	}
 	if f.Size(999) != -1 {
 		t.Fatal("Size of missing file must be -1")
+	}
+}
+
+// TestTypedErrors is the regression test for reads of deleted/unknown files:
+// they must fail with the typed ErrNotExist sentinel (not zero bytes, not an
+// anonymous error), and bounds/capacity failures carry their own sentinels.
+func TestTypedErrors(t *testing.T) {
+	f := New(hw.Cosmos(), 2*hw.Cosmos().FlashPageBytes)
+	if _, err := f.ReadAt(42, 0, 10, nil, hw.Rates{}, nil); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("read of unknown file: got %v, want ErrNotExist", err)
+	}
+	id, err := f.WriteFile(blob(1000), nil, hw.Rates{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.DeleteFile(id)
+	if _, err := f.ReadAt(id, 0, 10, nil, hw.Rates{}, nil); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("read of deleted file: got %v, want ErrNotExist", err)
+	}
+	if _, err := f.ReadFile(id, nil, hw.Rates{}); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("ReadFile of deleted file: got %v, want ErrNotExist", err)
+	}
+	id2, _ := f.WriteFile(blob(1000), nil, hw.Rates{})
+	if _, err := f.ReadAt(id2, 900, 200, nil, hw.Rates{}, nil); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("out-of-bounds read: got %v, want ErrOutOfBounds", err)
+	}
+	if _, err := f.WriteFile(blob(int(3*hw.Cosmos().FlashPageBytes)), nil, hw.Rates{}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("over-capacity write: got %v, want ErrCapacity", err)
+	}
+}
+
+// failEveryRead is a test double for the Faults hook.
+type failEveryRead struct {
+	err   error
+	calls int
+}
+
+func (f *failEveryRead) ReadFault(id FileID, off, length int64) error {
+	f.calls++
+	return f.err
+}
+
+func TestInjectedReadFaultFiresAfterCharge(t *testing.T) {
+	m := hw.Cosmos()
+	f := New(m, 0)
+	id, _ := f.WriteFile(blob(int(2*m.FlashPageBytes)), nil, hw.Rates{})
+	tl := vclock.NewTimeline("r")
+	inj := &failEveryRead{err: errors.New("boom")}
+	_, err := f.ReadAt(id, 0, 4096, tl, hw.DeviceRates(m), inj)
+	if !errors.Is(err, inj.err) {
+		t.Fatalf("injected fault not surfaced: %v", err)
+	}
+	if inj.calls != 1 {
+		t.Fatalf("hook called %d times, want 1", inj.calls)
+	}
+	if tl.Now() <= 0 {
+		t.Fatal("failed read must still charge the flash channel time")
+	}
+	// A nil hook or a benign hook leaves the read untouched.
+	if _, err := f.ReadAt(id, 0, 4096, tl, hw.DeviceRates(m), &failEveryRead{}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -99,10 +161,10 @@ func TestChargingRandomVsSequential(t *testing.T) {
 
 	rnd := vclock.NewTimeline("r")
 	seq := vclock.NewTimeline("s")
-	if _, err := f.ReadAt(id, 0, 4096, rnd, r); err != nil {
+	if _, err := f.ReadAt(id, 0, 4096, rnd, r, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.ReadAtSeq(id, 0, 4096, seq, r); err != nil {
+	if _, err := f.ReadAtSeq(id, 0, 4096, seq, r, nil); err != nil {
 		t.Fatal(err)
 	}
 	if seq.Now() >= rnd.Now() {

@@ -23,6 +23,12 @@ const (
 	CatWaitSlots    = "wait (host fetch / free slot)"
 	CatHostProcess  = "processing"
 	CatBufferManage = "buffer management"
+
+	// Fault-injection categories (chaos runs only; see internal/fault). All
+	// three book zero time on fault-free runs, so profiles stay unchanged.
+	CatFaultStall = "fault (device stall)"
+	CatFaultWait  = "fault (host wait for failure)"
+	CatBackoff    = "fault (retry backoff)"
 )
 
 // Baseline host-side primitive costs. These are the single calibration point

@@ -22,6 +22,9 @@ type Access struct {
 	// Bloom, when set, accumulates Bloom-filter probe outcomes for the
 	// metrics registry; it never affects virtual-time accounting.
 	Bloom *BloomStats
+	// Faults, when set, injects read failures into the flash path of this
+	// access context (chaos runs; see internal/fault).
+	Faults flash.Faults
 }
 
 // Charged reports whether this access books virtual time.
@@ -170,7 +173,7 @@ func OpenSST(fl *flash.Flash, id flash.FileID) (*SST, error) {
 	if size < footerBytes {
 		return nil, fmt.Errorf("lsm: SST file %d too small (%d bytes)", id, size)
 	}
-	raw, err := fl.ReadAt(id, 0, size, nil, hw.Rates{})
+	raw, err := fl.ReadAt(id, 0, size, nil, hw.Rates{}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +348,7 @@ func (t *SST) readBlockMode(i int, ac Access, sequential bool) ([]Entry, error) 
 	if sequential {
 		read = t.fl.ReadAtSeq
 	}
-	raw, err := read(t.file, ie.off, ie.length, ac.TL, ac.R)
+	raw, err := read(t.file, ie.off, ie.length, ac.TL, ac.R, ac.Faults)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hybridndp/internal/device"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/obs"
 )
@@ -43,7 +44,28 @@ type devState struct {
 	slotFree int
 	assigned float64
 	inflight float64 // estimated work of currently admitted commands
+
+	// Circuit breaker (deterministic, count-based — wall clocks would break
+	// the virtual-time invariants). consecFails counts consecutive device
+	// command failures; at the threshold the breaker opens and admission
+	// routes around the device. After probeAfter skipped admissions the
+	// breaker goes half-open and admits a single probe command: success
+	// closes it, failure re-opens it.
+	breaker     breakerState
+	consecFails int
+	skipped     int  // admissions skipped while open
+	probing     bool // a half-open probe command is in flight
 }
+
+// breakerState is a device breaker's position.
+type breakerState int
+
+// Breaker states: closed (healthy), open (routed around), half-open (probing).
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
 
 // Ledger tracks the scarce resources of a smart-storage fleet: per device the
 // NDP command slots (execution cores), the DRAM budget left for selection and
@@ -65,7 +87,72 @@ type Ledger struct {
 	memCap  int64
 	slotCap int
 
+	// Breaker tuning, immutable after ConfigureBreaker; threshold 0 disables.
+	brkThreshold  int
+	brkProbeAfter int
+
 	metrics *obs.Registry // guarded by mu; nil disables the gauges
+}
+
+// ConfigureBreaker arms the per-device circuit breakers: a device trips open
+// after threshold consecutive command failures and admits a half-open probe
+// after probeAfter skipped admissions. threshold <= 0 disables breaking.
+func (l *Ledger) ConfigureBreaker(threshold, probeAfter int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if threshold < 0 {
+		threshold = 0
+	}
+	if probeAfter < 1 {
+		probeAfter = 1
+	}
+	l.brkThreshold = threshold
+	l.brkProbeAfter = probeAfter
+}
+
+// countLocked bumps a ledger counter. Caller holds mu.
+func (l *Ledger) countLocked(name string) {
+	if l.metrics != nil {
+		l.metrics.Counter(name).Inc()
+	}
+}
+
+// ReportDeviceResult feeds one finished device command into the breaker:
+// ok means the command completed on the device (a run that fell back to the
+// host counts as a failure). Success resets the failure streak and closes a
+// half-open breaker; failure extends the streak and trips (or re-opens) it.
+func (l *Ledger) ReportDeviceResult(dev int, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.brkThreshold <= 0 || dev < 0 || dev >= len(l.devs) {
+		return
+	}
+	d := &l.devs[dev]
+	d.probing = false
+	if ok {
+		d.consecFails = 0
+		if d.breaker != breakerClosed {
+			d.breaker = breakerClosed
+			d.skipped = 0
+			l.countLocked("sched.breaker.recovered")
+		}
+	} else {
+		d.consecFails++
+		switch {
+		case d.breaker == breakerHalfOpen:
+			// Probe failed: straight back to open.
+			d.breaker = breakerOpen
+			d.skipped = 0
+		case d.breaker == breakerClosed && d.consecFails >= l.brkThreshold:
+			d.breaker = breakerOpen
+			d.skipped = 0
+			l.countLocked("sched.breaker.tripped")
+		}
+	}
+	l.publishDevLocked(dev)
+	// A recovered breaker may unblock holdouts; a tripped one must wake
+	// blocked acquirers so they can re-evaluate (and bail out).
+	l.cond.Broadcast()
 }
 
 // NewLedger sizes the ledger from the hardware model: devices × cmdSlots NDP
@@ -122,6 +209,14 @@ func (l *Ledger) publishDevLocked(i int) {
 	l.metrics.Gauge(p + "slots_used").SetInt(int64(l.slotCap - d.slotFree))
 	l.metrics.Gauge(p + "assigned_ns").Set(d.assigned)
 	l.metrics.Gauge(p + "inflight_ns").Set(d.inflight)
+	l.metrics.Gauge(p + "breaker.state").SetInt(int64(d.breaker))
+	tripped := 0
+	for j := range l.devs {
+		if l.devs[j].breaker != breakerClosed {
+			tripped++
+		}
+	}
+	l.metrics.Gauge("sched.breaker.state").SetInt(int64(tripped))
 }
 
 // publishHostLocked mirrors the host pool's assigned work. Caller holds mu.
@@ -133,11 +228,34 @@ func (l *Ledger) publishHostLocked() {
 	l.metrics.Gauge("sched.ledger.host.lanes").SetInt(int64(l.hostLanes))
 }
 
-// tryAcquireLocked picks the least-loaded device that can hold the claim.
-func (l *Ledger) tryAcquireLocked(c Claim) (int, bool) {
+// tryAcquireLocked picks the least-loaded breaker-admissible device that can
+// hold the claim. allOpen reports that every device's breaker is open — no
+// admission can succeed until a breaker transitions, so blocking callers must
+// bail out instead of waiting for a release that cannot come.
+func (l *Ledger) tryAcquireLocked(c Claim) (dev int, ok, allOpen bool) {
 	best := -1
+	allOpen = true
 	for i := range l.devs {
 		d := &l.devs[i]
+		if l.brkThreshold > 0 {
+			if d.breaker == breakerOpen {
+				d.skipped++
+				if d.skipped >= l.brkProbeAfter {
+					// Enough traffic routed around the device: allow a probe.
+					d.breaker = breakerHalfOpen
+					d.skipped = 0
+					l.publishDevLocked(i)
+				} else {
+					continue
+				}
+			}
+			if d.breaker == breakerHalfOpen && d.probing {
+				// One probe at a time; the device is otherwise untrusted.
+				allOpen = false
+				continue
+			}
+		}
+		allOpen = false
 		if d.cmdFree < 1 || d.memFree < c.MemBytes || d.slotFree < c.BufSlots {
 			continue
 		}
@@ -146,16 +264,20 @@ func (l *Ledger) tryAcquireLocked(c Claim) (int, bool) {
 		}
 	}
 	if best < 0 {
-		return -1, false
+		return -1, false, allOpen
 	}
 	d := &l.devs[best]
+	if d.breaker == breakerHalfOpen {
+		d.probing = true
+		l.countLocked("sched.breaker.probe")
+	}
 	d.cmdFree--
 	d.memFree -= c.MemBytes
 	d.slotFree -= c.BufSlots
 	d.assigned += c.EstDeviceNs
 	d.inflight += c.EstDeviceNs
 	l.publishDevLocked(best)
-	return best, true
+	return best, true, false
 }
 
 // TryAcquire reserves the claim on the least-loaded device that fits it,
@@ -164,11 +286,15 @@ func (l *Ledger) tryAcquireLocked(c Claim) (int, bool) {
 func (l *Ledger) TryAcquire(c Claim) (int, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.tryAcquireLocked(c)
+	dev, ok, _ := l.tryAcquireLocked(c)
+	return dev, ok
 }
 
 // Acquire blocks until the claim fits on some device or ctx is done. Used by
 // the forced-NDP policy, which serializes on the device instead of degrading.
+// When every device's circuit breaker is open it fails fast with
+// device.ErrDeviceBusy — waiting would deadlock, since a fleet with nothing
+// in flight never releases anything.
 func (l *Ledger) Acquire(ctx context.Context, c Claim) (int, error) {
 	stop := context.AfterFunc(ctx, func() {
 		l.mu.Lock()
@@ -182,8 +308,12 @@ func (l *Ledger) Acquire(ctx context.Context, c Claim) (int, error) {
 		if err := ctx.Err(); err != nil {
 			return -1, err
 		}
-		if dev, ok := l.tryAcquireLocked(c); ok {
+		dev, ok, allOpen := l.tryAcquireLocked(c)
+		if ok {
 			return dev, nil
+		}
+		if allOpen {
+			return -1, fmt.Errorf("sched: every device breaker is open: %w", device.ErrDeviceBusy)
 		}
 		l.cond.Wait()
 	}
@@ -284,6 +414,10 @@ type Load struct {
 	MemFree  int64
 	SlotFree int
 	Devices  int
+	// DevicesHealthy counts devices whose circuit breaker is not open. When
+	// zero, device-bound placement is pointless: the adaptive policy must
+	// route host-side instead of holding out for a slot.
+	DevicesHealthy int
 }
 
 // Snapshot captures the current load.
@@ -297,6 +431,9 @@ func (l *Ledger) Snapshot() Load {
 		ld.CmdFree += d.cmdFree
 		ld.MemFree += d.memFree
 		ld.SlotFree += d.slotFree
+		if d.breaker != breakerOpen {
+			ld.DevicesHealthy++
+		}
 		if first || d.assigned < ld.DeviceAssignedNs {
 			ld.DeviceAssignedNs = d.assigned
 			ld.DeviceInFlightNs = d.inflight

@@ -22,6 +22,7 @@ import (
 
 	"hybridndp/internal/clock"
 	"hybridndp/internal/coop"
+	"hybridndp/internal/device"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/obs"
 	"hybridndp/internal/optimizer"
@@ -72,6 +73,14 @@ type Config struct {
 	// QueryTimeout bounds the wall time a ticket may spend in the admission
 	// queue before it is rejected (0 = unbounded).
 	QueryTimeout time.Duration
+	// BreakerThreshold is the consecutive device-command failure count that
+	// trips a device's circuit breaker open (admission then routes around the
+	// device). 0 selects the default of 3; negative disables breaking.
+	BreakerThreshold int
+	// BreakerProbeAfter is the number of skipped admissions after which an
+	// open breaker goes half-open and admits a single probe command.
+	// 0 selects the default of 8.
+	BreakerProbeAfter int
 	// Policy selects adaptive serving or one of the forced baselines.
 	Policy Policy
 	// Clock is the wall-time source for ticket timestamps (queue-wait
@@ -108,6 +117,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = clock.System()
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // disabled
+	}
+	if c.BreakerProbeAfter < 1 {
+		c.BreakerProbeAfter = 8
 	}
 	return c
 }
@@ -193,6 +211,7 @@ func New(opt *optimizer.Optimizer, exec *coop.Executor, m hw.Model, cfg Config) 
 		stats:  newCollector(hostLanes, devLanes),
 		hist:   history{m: map[string]*qhist{}},
 	}
+	s.ledger.ConfigureBreaker(cfg.BreakerThreshold, cfg.BreakerProbeAfter)
 	s.ledger.bindMetrics(cfg.Metrics)
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
@@ -412,6 +431,10 @@ func (s *Scheduler) process(t *Ticket) {
 	s.ledger.AddHost(cand.hostNs)
 	rep, err := s.exec.RunTraced(d.Plan, cand.strat, tr)
 	if dev >= 0 {
+		// Feed the breaker: a command only counts as a device success when it
+		// actually completed on the device — an executor-level host fallback
+		// means the device failed every retry.
+		s.ledger.ReportDeviceResult(dev, err == nil && rep != nil && !rep.FellBack)
 		if rep != nil {
 			// True up the estimate with the measured device busy time, so
 			// estimation error cannot keep overloading the device pool, and
@@ -495,6 +518,12 @@ func (s *Scheduler) place(ctx context.Context, d *optimizer.Decision) (candidate
 		}
 		dev, err := s.ledger.Acquire(ctx, ndp.claim)
 		if err != nil {
+			if errors.Is(err, device.ErrDeviceBusy) {
+				// Every breaker is open: even forced NDP must route host-side
+				// rather than error out or deadlock.
+				s.cfg.Metrics.Counter("sched.breaker.routed.host").Inc()
+				return candidate{strat: coop.Strategy{Kind: coop.HostNative}, hostNs: d.Costs.HostTotal, rawHostNs: d.Costs.HostTotal}, -1, nil
+			}
 			return candidate{}, -1, fmt.Errorf("sched: forced-NDP admission: %w", err)
 		}
 		return *ndp, dev, nil
@@ -516,6 +545,17 @@ func (s *Scheduler) place(ctx context.Context, d *optimizer.Decision) (candidate
 				hostLoaded = cands[i].loaded
 				break
 			}
+		}
+		if ld.DevicesHealthy == 0 {
+			// Every device breaker is open: holding out for a slot would wait
+			// on a fleet that admits nothing. Route straight to the host.
+			s.cfg.Metrics.Counter("sched.breaker.routed.host").Inc()
+			for i := range cands {
+				if !cands[i].onDevice() {
+					return cands[i], -1, nil
+				}
+			}
+			return candidate{strat: coop.Strategy{Kind: coop.HostNative}, hostNs: d.Costs.HostTotal, rawHostNs: d.Costs.HostTotal}, -1, nil
 		}
 		wait := false
 		for i := range cands {
@@ -552,8 +592,11 @@ func (s *Scheduler) place(ctx context.Context, d *optimizer.Decision) (candidate
 }
 
 // hostBusy extracts the host's busy (non-stall) virtual time from a report.
+// Fault-recovery waits (host waiting out a crashed device attempt, retry
+// backoff) are stalls, not load.
 func hostBusy(r *coop.Report) vclock.Duration {
-	busy := r.Elapsed - r.HostAccount[hw.CatWaitInitial] - r.HostAccount[hw.CatWaitFetch]
+	busy := r.Elapsed - r.HostAccount[hw.CatWaitInitial] - r.HostAccount[hw.CatWaitFetch] -
+		r.HostAccount[hw.CatFaultWait] - r.HostAccount[hw.CatBackoff]
 	if busy < 0 {
 		busy = 0
 	}
