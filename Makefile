@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json serve trace-smoke chaos
+.PHONY: all build vet lint test race bench bench-json serve trace-smoke chaos fleet-smoke
 
 all: build vet lint test
 
@@ -21,8 +21,10 @@ lint:
 test:
 	$(GO) test ./...
 
+# The harness package's determinism suites (parallel sweep, chaos, fleet)
+# exceed go test's default 10-minute package timeout under the race detector.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Virtual-time benchmarks (one pass each; wall ns/op only measures the
 # simulator). HYBRIDNDP_SCALE overrides the dataset scale.
@@ -30,12 +32,13 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
 
 # Wall-clock perf trajectory: snapshot ns/op, B/op, allocs/op of the hot-path
-# microbenchmarks and the full JOB sweep into BENCH_PR4.json (diffable across
-# PRs; non-gating CI artifact). The exec microbenchmarks run 5 iterations for
-# stable allocs/op; the sweep runs once — it is the wall-clock headline.
+# microbenchmarks, the full JOB sweep and the fleet scale-out sweep into
+# BENCH_PR6.json (diffable across PRs; non-gating CI artifact). The exec
+# microbenchmarks run 5 iterations for stable allocs/op; the sweeps run once —
+# they are the wall-clock headline.
 bench-json:
 	( $(GO) test -run '^$$' -bench 'ScanFilter|HashJoin|JoinStep|GroupAggregate' -benchmem -benchtime=5x ./internal/exec/ ; \
-	  $(GO) test -run '^$$' -bench 'Fig12JOBSweep' -benchmem -benchtime=1x . ) | $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+	  $(GO) test -run '^$$' -bench 'Fig12JOBSweep|FleetSweep' -benchmem -benchtime=1x -timeout 30m . ) | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
 
 # The serving sweep: policy × concurrency throughput table.
 serve:
@@ -47,6 +50,12 @@ trace-smoke:
 	$(GO) run ./cmd/jobbench -scale 0.05 -slots 1 -trace "8d@H1:trace.json" >/dev/null
 	$(GO) run ./cmd/tracecheck -slots trace.json
 	rm -f trace.json
+
+# Fleet gate: the 4-device scatter-gather sweep must answer every JOB query
+# byte-identically (fingerprint) to the single-device baseline; jobbench exits
+# non-zero on any mismatch or error.
+fleet-smoke:
+	$(GO) run ./cmd/jobbench -scale 0.01 -devices 1,4 -workers 4 >/dev/null
 
 # Chaos gate: every JOB query must survive a 100%-crash device (retry, then
 # host fallback) with results identical to host-native, and a traced chaos

@@ -464,6 +464,30 @@ func BenchmarkMultiDevice(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetSweep scales the sharded scatter-gather executor across fleet
+// sizes (internal/fleet, DESIGN.md §12): every JOB query fingerprint-verified
+// against the single-device baseline, reporting the geomean speedup of the
+// device-mode queries per fleet size. Slow — it re-runs the sweep per size.
+func BenchmarkFleetSweep(b *testing.B) {
+	h := benchHarness(b)
+	counts := []int{1, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := h.FleetSweep(io.Discard, counts, "range")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Clean() {
+			b.Fatalf("fleet sweep not clean: %d errors, %d mismatches", res.Errors, res.Mismatches)
+		}
+		if i == 0 {
+			for ci, n := range counts {
+				report(b, fmt.Sprintf("devices=%d-speedup-x100", n), 100*res.Speedup[ci])
+			}
+		}
+	}
+}
+
 // BenchmarkSchedulerThroughput sweeps the concurrent scheduler's worker count
 // over the JOB mix and reports the virtual throughput of the adaptive policy
 // against the always-host and always-NDP baselines (the serving experiment of

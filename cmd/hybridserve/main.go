@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"hybridndp/internal/fault"
+	"hybridndp/internal/fleet"
 	"hybridndp/internal/harness"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/obs"
@@ -42,6 +43,8 @@ func main() {
 			"record scheduler/executor metrics and print the registry dump at the end")
 		faults = flag.String("faults", "",
 			"fault-injection spec (see jobbench -faults): serve the mix with device faults injected; recovery retries, host fallback and circuit breaking keep queries answering")
+		fleetSpec = flag.String("fleet", "",
+			"serve through sharded fleet scatter-gather execution with this partitioning spec (range | stripe | stripe:<n>); shard admission shares the scheduler's ledger and breakers, and -devices sets the fleet size")
 	)
 	flag.Parse()
 
@@ -102,6 +105,17 @@ func main() {
 	if *traceF != "" {
 		traces = obs.NewTraceSet()
 		cfg.Traces = traces
+	}
+	if *fleetSpec != "" {
+		desc, err := fleet.Build(h.DS.Cat, cfg.Devices, *fleetSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := desc.Validate(h.DS.Cat); err != nil {
+			fatal(err)
+		}
+		cfg.Fleet = fleet.NewExecutor(h.DS.Cat, h.DS.DB, h.DS.Model, desc)
+		fmt.Printf("fleet execution active:\n%s", desc)
 	}
 
 	fmt.Printf("serving %d queries (%s policy, %d workers, %d device(s)) ...\n",

@@ -44,6 +44,10 @@ func main() {
 			"wall-clock worker goroutines for the sweep experiments and -plans; results are byte-identical to -workers 1")
 		faults = flag.String("faults", "",
 			"fault-injection spec (e.g. flash.read.err=0.01,dev.crash@batch=7,slot.corrupt=0.005,dev.stall=2ms,seed=1): run the chaos sweep — every JOB query under its decided strategy with faults injected, verified against a fault-free host-native baseline — then exit; with -trace, trace the query under faults instead")
+		devicesF = flag.String("devices", "",
+			"comma list of fleet sizes (e.g. 1,2,4,8): run the fleet scale-out sweep — every JOB query scatter-gathered over each fleet size, fingerprint-verified against a single-device baseline — then exit (non-zero on any mismatch)")
+		fleetSpec = flag.String("fleet", "range",
+			"fleet partitioning spec for -devices: range | stripe | stripe:<n>")
 	)
 	flag.Parse()
 
@@ -146,6 +150,34 @@ func main() {
 			fmt.Println("\nmetrics")
 			fmt.Println("-------")
 			fmt.Print(reg.Dump())
+		}
+		if !res.Clean() {
+			os.Exit(1)
+		}
+		return
+	}
+	if *devicesF != "" {
+		// Fleet scale-out sweep: deterministic, no progress chatter, so
+		// repeated runs at a given -seed/-scale/-fleet diff byte-for-byte.
+		var counts []int
+		for _, part := range strings.Split(*devicesF, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "jobbench: bad -devices entry %q\n", part)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		h, err := harness.NewSeeded(*scale, model, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
+		}
+		h.Workers = *workers
+		res, err := h.FleetSweep(os.Stdout, counts, *fleetSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(1)
 		}
 		if !res.Clean() {
 			os.Exit(1)

@@ -335,6 +335,28 @@ type SplitCosts struct {
 
 // PlanCosts prices the plan for all execution alternatives.
 func (e *Estimator) PlanCosts(p *exec.Plan) (*SplitCosts, error) {
+	return e.planCosts(p, 1)
+}
+
+// ShardPlanCosts prices the plan for one driving-table shard holding
+// drivingFrac of the driving table's rows (fleet execution): the driving
+// node's access cost and initial cardinality scale with the fraction, while
+// the inner tables stay full-size — they are broadcast to every shard. The
+// curve is deliberately non-uniform in the fraction: join-side scan costs do
+// not shrink with the shard, so small shards see a flatter c_node curve and
+// may pick a different split than the global plan.
+func (e *Estimator) ShardPlanCosts(p *exec.Plan, drivingFrac float64) (*SplitCosts, error) {
+	if drivingFrac <= 0 {
+		drivingFrac = 1e-6
+	}
+	if drivingFrac > 1 {
+		drivingFrac = 1
+	}
+	return e.planCosts(p, drivingFrac)
+}
+
+// planCosts is PlanCosts with the driving node scaled to drivingFrac.
+func (e *Estimator) planCosts(p *exec.Plan, drivingFrac float64) (*SplitCosts, error) {
 	n := p.NumTables()
 	sc := &SplitCosts{}
 
@@ -362,11 +384,13 @@ func (e *Estimator) PlanCosts(p *exec.Plan) (*SplitCosts, error) {
 		if err != nil {
 			return ch, err
 		}
+		acc = scaleNode(acc, drivingFrac)
 		rows := p.Driving.EstRows
 		if rows <= 0 {
 			t, _ := e.Cat.Table(p.Driving.Ref.Table)
 			rows = float64(t.CollectStats().RowCount) * math.Max(p.Driving.EstSel, 1e-6)
 		}
+		rows *= drivingFrac
 		ch.nodes = append(ch.nodes, acc)
 		ch.rows = append(ch.rows, rows)
 		for i, st := range p.Steps {
@@ -429,7 +453,7 @@ func (e *Estimator) PlanCosts(p *exec.Plan) (*SplitCosts, error) {
 	leafTrans := 0.0
 	{
 		acc, _ := e.AccessCost(p.Driving, Device)
-		h0dev += acc.Total()
+		h0dev += scaleNode(acc, drivingFrac).Total()
 		leafTrans += e.TransferCost(devCh.rows[0], widths[0])
 		for _, st := range p.Steps {
 			acc, err := e.AccessCost(st.Right, Device)
@@ -521,6 +545,18 @@ func (e *Estimator) PlanCosts(p *exec.Plan) (*SplitCosts, error) {
 	}
 	sc.BestSplit = best
 	return sc, nil
+}
+
+// scaleNode scales every component of a node cost (a fractional table scan
+// reads a fraction of the pages and evaluates a fraction of the records).
+func scaleNode(nc NodeCost, f float64) NodeCost {
+	if f == 1 {
+		return nc
+	}
+	nc.Scan *= f
+	nc.CPU *= f
+	nc.Trans *= f
+	return nc
 }
 
 // String renders the cost picture.

@@ -385,6 +385,46 @@ func (d *Device) RunPartition(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 	return d.streamDrivingRange(cmd, pl, eng, devSteps, lo, hi, emitBatch)
 }
 
+// RunShard streams the driving-table partition [lo, hi) through the first
+// cmd.SplitAfter join steps (0 or -1 = scan-only: the shard ships filtered
+// driving rows and every join stays on the host). Unlike RunPartition it
+// carries no H0 leaf logic — fleet execution scans each inner table's
+// partitions through ScanLeafPartition on the owning device — and emit may
+// reject a batch with an error. Shared-slot back-pressure is not applied:
+// the host merges batches from the whole fleet in partition order, so the
+// host side is the bottleneck.
+func (d *Device) RunShard(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
+	lo, hi *int32, emit func(Batch) error) error {
+
+	devSteps := cmd.SplitAfter
+	if devSteps < 0 {
+		devSteps = 0
+	}
+	return d.streamDrivingRange(cmd, pl, eng, devSteps, lo, hi, func(b Batch) error {
+		b.Ready = d.TL.Now()
+		return emit(b)
+	})
+}
+
+// ScanLeafPartition scans one inner table's partition [lo, hi) on this device
+// (fleet H0: every device ships its share of every leaf selection) and
+// returns it as a leaf batch stamped with the device completion time.
+func (d *Device) ScanLeafPartition(ap exec.AccessPath, eng *exec.Engine, lo, hi *int32) (Batch, error) {
+	lsp := d.Trace.Start(d.TL, "device.leaf.scan").Attr("alias", ap.Ref.Alias)
+	rows, width, err := eng.ScanAccess(ap, lo, hi)
+	lsp.AttrInt("rows", int64(len(rows))).End()
+	if err != nil {
+		return Batch{}, err
+	}
+	d.recordScan(int64(len(rows)), int64(len(rows))*width)
+	return Batch{
+		LeafAlias: ap.Ref.Alias,
+		Rows:      rows,
+		Bytes:     int64(len(rows)) * width,
+		Ready:     d.TL.Now(),
+	}, nil
+}
+
 // streamDrivingRange is streamDriving clipped to [loPart, hiPart).
 func (d *Device) streamDrivingRange(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 	devSteps int, loPart, hiPart *int32, emitBatch func(Batch) error) error {

@@ -1,0 +1,473 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"hybridndp/internal/device"
+	"hybridndp/internal/exec"
+	"hybridndp/internal/hw"
+	"hybridndp/internal/kv"
+	"hybridndp/internal/lsm"
+	"hybridndp/internal/table"
+	"hybridndp/internal/vclock"
+)
+
+// Gate is the fleet's per-shard admission hook (wired to the scheduler's
+// device ledger and breakers). AdmitShard asks to run a device-side shard on
+// device dev; a denial degrades that shard to host execution instead of
+// failing the query. The returned release must be called exactly once with
+// the shard's outcome and its device-busy virtual time. A nil Gate admits
+// everything.
+type Gate interface {
+	AdmitShard(dev int, memBytes int64, estNs float64) (release func(ok bool, busyNs float64), admitted bool)
+}
+
+// ShardReport is one device's contribution to a fleet run.
+type ShardReport struct {
+	Device     int
+	Split      int
+	Partitions int
+	Frac       float64
+	// Rows counts driving tuples plus leaf rows the shard produced.
+	Rows    int64
+	Batches int
+	Elapsed vclock.Duration
+	Account map[string]vclock.Duration
+	// Degraded marks a device-planned shard the admission gate refused; its
+	// partitions executed host-side instead.
+	Degraded bool
+	Reason   string
+}
+
+// Report is the outcome of one scatter-gather fleet execution.
+type Report struct {
+	Query  string
+	Mode   string
+	Result *exec.Result
+	// Elapsed is the host timeline's completion instant (merge + finalize).
+	Elapsed     vclock.Duration
+	HostAccount map[string]vclock.Duration
+
+	Batches          int
+	TransferredBytes int64
+	Devices          int
+	DegradedShards   int
+	Shards           []ShardReport
+}
+
+// Executor fans per-partition NDP-PQEPs out over the fleet and gathers the
+// partial results on the host. All devices run on independent virtual
+// timelines anchored at their command-setup instants; the host merge
+// consumes shard batches in ascending driving-partition order (never in
+// completion order), so the merged tuple stream — and the finalized result —
+// is byte-identical to a single-device run for every fleet size.
+type Executor struct {
+	Cat   *table.Catalog
+	DB    *kv.DB
+	Model hw.Model
+	Desc  *Descriptor
+	// Gate is the per-shard admission hook; nil admits every shard.
+	Gate Gate
+	// Chunks overrides the global driving-table chunk count (0 = auto); each
+	// shard gets its per-device share.
+	Chunks int
+}
+
+// NewExecutor builds a fleet executor over the catalog and descriptor.
+func NewExecutor(cat *table.Catalog, db *kv.DB, m hw.Model, desc *Descriptor) *Executor {
+	return &Executor{Cat: cat, DB: db, Model: m, Desc: desc}
+}
+
+// hostCache mirrors the cooperative executor's cold host block cache.
+func (x *Executor) hostCache() *lsm.BlockCache {
+	bytes := int64(float64(x.DB.Flash().Used()) * x.Model.HostCacheFraction)
+	return lsm.NewBlockCache(bytes)
+}
+
+// snapshotFor captures shared state for the device-read tables (driving plus
+// the inner tables of the first `split` steps; split < 0 = all).
+func (x *Executor) snapshotFor(p *exec.Plan, split int) (*kv.Snapshot, error) {
+	names := []string{"tbl." + p.Driving.Ref.Table}
+	limit := len(p.Steps)
+	if split >= 0 && split < limit {
+		limit = split
+	}
+	for i := 0; i < limit; i++ {
+		names = append(names, "tbl."+p.Steps[i].Right.Ref.Table)
+	}
+	return x.DB.TakeSnapshot(names)
+}
+
+// chunkCount mirrors the cooperative executor's driving-chunk sizing; each
+// fleet shard then takes its per-device share (+1 so a shard never rounds to
+// zero chunks).
+func (x *Executor) chunkCount(p *exec.Plan) int {
+	if x.Chunks > 0 {
+		return x.Chunks
+	}
+	t, err := x.Cat.Table(p.Driving.Ref.Table)
+	if err != nil {
+		return 8
+	}
+	bytes := float64(t.CollectStats().TotalBytes())
+	c := int(bytes / float64(4*x.Model.SharedBufferSlot))
+	if c < 4 {
+		c = 4
+	}
+	if c > 64 {
+		c = 64
+	}
+	return c
+}
+
+// snapshotViews extracts the frozen per-table views from the snapshot.
+func snapshotViews(snap *kv.Snapshot) map[string]*lsm.View {
+	views := make(map[string]*lsm.View, len(snap.CFs))
+	for name, cf := range snap.CFs {
+		views[strings.TrimPrefix(name, "tbl.")] = cf.View
+	}
+	return views
+}
+
+// leafKey addresses one inner table's partition scan: step index within the
+// plan plus partition index within the table's descriptor entry.
+type leafKey struct{ step, part int }
+
+// Run executes a planned assignment over the fleet.
+func (x *Executor) Run(a *Assignment) (*Report, error) {
+	p := a.Plan
+	rep := &Report{Query: p.Query.Name, Mode: a.Mode, Devices: x.Desc.Devices}
+	hostTL := vclock.NewTimeline("host")
+	hostR := hw.HostRates(x.Model)
+	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()}
+
+	// A host-global decision never scatters: the whole plan runs on the host
+	// exactly like the cooperative baseline.
+	if a.Mode == ModeHost {
+		res, err := hostEng.RunPlan(p)
+		if err != nil {
+			return nil, err
+		}
+		rep.Result = res
+		rep.Elapsed = vclock.Duration(hostTL.Now())
+		rep.HostAccount = hostTL.Account()
+		return rep, nil
+	}
+
+	// H0 joins device-shipped leaf rows on the host: index joins against the
+	// base tables would discard the offloaded selections (same plan-copy
+	// coercion as the cooperative H0 path).
+	if a.Mode == ModeH0 && len(p.Steps) > 0 {
+		p2 := *p
+		p2.Steps = append([]exec.JoinStep(nil), p.Steps...)
+		for i := range p2.Steps {
+			if p2.Steps[i].Type == exec.BNLI {
+				p2.Steps[i].Type = exec.BNL
+			}
+		}
+		p = &p2
+	}
+
+	// Per-shard admission. A denied device-planned shard degrades to host
+	// execution of its partitions; planned host shards (hybrid Split == 0)
+	// never claim device resources.
+	nDev := x.Desc.Devices
+	releases := make([]func(ok bool, busyNs float64), nDev)
+	degraded := make([]bool, nDev)
+	wantsDevice := func(dev int) bool {
+		return !(a.Mode == ModeHybrid && a.Shards[dev].Split == 0)
+	}
+	released := false
+	releaseAll := func(ok bool, busy func(dev int) float64) {
+		if released {
+			return
+		}
+		released = true
+		for dev, rel := range releases {
+			if rel != nil {
+				rel(ok, busy(dev))
+			}
+		}
+	}
+	defer releaseAll(false, func(int) float64 { return 0 })
+	for dev := 0; dev < nDev; dev++ {
+		if !wantsDevice(dev) {
+			continue
+		}
+		if x.Gate == nil {
+			continue
+		}
+		sp := a.Shards[dev]
+		rel, ok := x.Gate.AdmitShard(dev, sp.Mem.TotalBytes, sp.EstDevNs)
+		if !ok {
+			degraded[dev] = true
+			rep.DegradedShards++
+			continue
+		}
+		releases[dev] = rel
+	}
+	healthy := func(dev int) bool { return wantsDevice(dev) && !degraded[dev] }
+
+	anyDevice := false
+	maxSplit := -1
+	for dev := 0; dev < nDev; dev++ {
+		if healthy(dev) {
+			anyDevice = true
+			if s := a.Shards[dev].Split; s > maxSplit {
+				maxSplit = s
+			}
+		}
+	}
+	if a.Mode == ModeH0 {
+		maxSplit = -1 // leaf offload reads every inner table on device
+	}
+
+	pl, err := hostEng.StartPipeline(p)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scatter phase: each admitted device gets its own command, engine and
+	// pipeline, so inner builds and scans charge the owning device's
+	// timeline. Devices are visited in ascending id — their timelines are
+	// independent, so code order only fixes determinism, not virtual
+	// concurrency.
+	var snap *kv.Snapshot
+	if anyDevice {
+		snap, err = x.snapshotFor(p, maxSplit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	shardChunks := x.chunkCount(p)/nDev + 1
+	devs := make([]*device.Device, nDev)
+	leaves := make(map[leafKey]device.Batch)
+	drivingBatches := make([][]device.Batch, len(a.DrivingParts))
+	shardRows := make([]int64, nDev)
+	shardBatches := make([]int, nDev)
+	for dev := 0; dev < nDev; dev++ {
+		if !healthy(dev) {
+			continue
+		}
+		sp := a.Shards[dev]
+		d := device.New(x.Model, x.Cat)
+		devs[dev] = d
+		cmd := &device.Command{Plan: p, SplitAfter: sp.Split, Snapshot: snap, Chunks: shardChunks}
+		if err := d.Validate(cmd); err != nil {
+			return nil, err
+		}
+		eng := d.Engine(sp.Mem)
+		eng.Views = snapshotViews(snap)
+		dpl, err := eng.StartPipeline(p)
+		if err != nil {
+			return nil, err
+		}
+
+		// NDP setup: the host issues the fleet's commands back to back; each
+		// device's timeline starts when its own command arrived.
+		setup := hostR.Interconnect.Transfer(cmd.Bytes(), cmd.Bytes())
+		hostTL.Charge(hw.CatNDPSetup, setup)
+		d.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
+
+		// H0: this device ships its partitions of every leaf selection.
+		if a.Mode == ModeH0 {
+			for si, st := range p.Steps {
+				for pi, part := range x.Desc.Parts[st.Right.Ref.Table] {
+					if part.Device != dev {
+						continue
+					}
+					b, err := d.ScanLeafPartition(st.Right, eng, part.Lo, part.Hi)
+					if err != nil {
+						return nil, err
+					}
+					leaves[leafKey{si, pi}] = b
+					shardRows[dev] += int64(len(b.Rows))
+					shardBatches[dev]++
+				}
+			}
+		}
+		// Driving partitions owned by this device, in ascending key order.
+		for pi, part := range a.DrivingParts {
+			if part.Device != dev {
+				continue
+			}
+			slot := pi
+			err := d.RunShard(cmd, dpl, eng, part.Lo, part.Hi, func(b device.Batch) error {
+				drivingBatches[slot] = append(drivingBatches[slot], b)
+				shardRows[dev] += int64(len(b.Tuples))
+				shardBatches[dev]++
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Host prep overlaps the devices' initial execution: pre-build the inner
+	// hash tables of host-side buffered joins (H0 inners are device-seeded
+	// and must stay unbuilt until the leaf batches arrive).
+	if a.Mode != ModeH0 {
+		minHostFrom := len(p.Steps)
+		for _, part := range a.DrivingParts {
+			hf := 0
+			if healthy(part.Device) {
+				if hf = a.Shards[part.Device].Split; hf < 0 {
+					hf = 0
+				}
+			}
+			if hf < minHostFrom {
+				minHostFrom = hf
+			}
+		}
+		for si := minHostFrom; si < len(p.Steps); si++ {
+			if p.Steps[si].Type != exec.BNLI {
+				if _, err := hostEng.BuildInner(pl, si); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Gather phase. Batches are consumed in plan order — every leaf
+	// partition of every step first (H0), then every driving partition — in
+	// ascending partition order regardless of which device produced them, so
+	// the merged tuple stream reconstructs the single-device order exactly.
+	first := true
+	fetch := func(b device.Batch) {
+		cat := hw.CatWaitFetch
+		if first {
+			cat = hw.CatWaitInitial
+			first = false
+		}
+		hostTL.WaitUntil(b.Ready, cat)
+		hostR.Transfer(hostTL, maxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
+		rep.TransferredBytes += b.Bytes
+		rep.Batches++
+	}
+	if a.Mode == ModeH0 {
+		for si, st := range p.Steps {
+			for pi, part := range x.Desc.Parts[st.Right.Ref.Table] {
+				if b, ok := leaves[leafKey{si, pi}]; ok {
+					fetch(b)
+					if err := hostEng.AppendInner(pl, si, b.Rows); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				// Degraded owner: the host scans this leaf partition itself.
+				rows, _, err := hostEng.ScanAccess(st.Right, part.Lo, part.Hi)
+				if err != nil {
+					return nil, err
+				}
+				if err := hostEng.AppendInner(pl, si, rows); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	var tuples []exec.Tuple
+	joinFrom := func(from int, batch []exec.Tuple) error {
+		for si := from; si < len(p.Steps); si++ {
+			var jerr error
+			if batch, jerr = hostEng.JoinStep(pl, si, batch); jerr != nil {
+				return jerr
+			}
+		}
+		tuples = append(tuples, batch...)
+		return nil
+	}
+	for pi, part := range a.DrivingParts {
+		dev := part.Device
+		if healthy(dev) {
+			hostFrom := a.Shards[dev].Split
+			if hostFrom < 0 {
+				hostFrom = 0
+			}
+			for _, b := range drivingBatches[pi] {
+				fetch(b)
+				if err := joinFrom(hostFrom, b.Tuples); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Host shard (planned or degraded): its partition runs entirely
+		// host-side at its merge position, preserving the global order.
+		rows, _, err := hostEng.ScanAccess(p.Driving, part.Lo, part.Hi)
+		if err != nil {
+			return nil, err
+		}
+		shardRows[dev] += int64(len(rows))
+		if err := joinFrom(0, pl.MakeTuples(rows)); err != nil {
+			return nil, err
+		}
+	}
+
+	res, err := hostEng.Finalize(pl, tuples)
+	if err != nil {
+		return nil, err
+	}
+	rep.Result = res
+	rep.Elapsed = vclock.Duration(hostTL.Now())
+	rep.HostAccount = hostTL.Account()
+	rep.Shards = make([]ShardReport, nDev)
+	for dev := 0; dev < nDev; dev++ {
+		sp := a.Shards[dev]
+		sr := ShardReport{
+			Device: dev, Split: sp.Split, Frac: sp.Frac, Reason: sp.Reason,
+			Rows: shardRows[dev], Batches: shardBatches[dev], Degraded: degraded[dev],
+		}
+		for _, part := range a.DrivingParts {
+			if part.Device == dev {
+				sr.Partitions++
+			}
+		}
+		if d := devs[dev]; d != nil {
+			sr.Elapsed = vclock.Duration(d.TL.Now())
+			sr.Account = d.TL.Account()
+		}
+		rep.Shards[dev] = sr
+	}
+	releaseAll(true, func(dev int) float64 {
+		if d := devs[dev]; d != nil {
+			return float64(d.TL.Now())
+		}
+		return 0
+	})
+	return rep, nil
+}
+
+// Fingerprint digests a result for byte-identity comparison: column names,
+// row count, byte volume and every retained row's values feed one FNV-1a
+// stream, so two results agree iff the digests agree.
+func Fingerprint(r *exec.Result) string {
+	h := fnv.New64a()
+	for _, c := range r.Columns {
+		fmt.Fprintf(h, "%s\x00", c)
+	}
+	fmt.Fprintf(h, "|%d|%d|", r.RowCount, r.Bytes)
+	for _, row := range r.Rows {
+		for _, v := range row {
+			switch {
+			case v.Null:
+				fmt.Fprintf(h, "N\x00")
+			case v.IsI:
+				fmt.Fprintf(h, "i%d\x00", v.Int)
+			default:
+				fmt.Fprintf(h, "s%s\x00", v.Str)
+			}
+		}
+		fmt.Fprintf(h, "\n")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"testing"
+
+	"hybridndp/internal/job"
+	"hybridndp/internal/optimizer"
+)
+
+// denyGate denies admission to a fixed set of devices and records the
+// release discipline of the admitted shards.
+type denyGate struct {
+	deny     map[int]bool
+	admitted []int
+	released int
+	okAll    bool
+}
+
+func (g *denyGate) AdmitShard(dev int, memBytes int64, estNs float64) (func(ok bool, busyNs float64), bool) {
+	if g.deny[dev] {
+		return nil, false
+	}
+	g.admitted = append(g.admitted, dev)
+	return func(ok bool, busyNs float64) {
+		g.released++
+		g.okAll = g.okAll && ok
+	}, true
+}
+
+// deviceQuery returns the first JOB query the optimizer decides to run with
+// device participation (hybrid or NDP), plus its decision.
+func deviceQuery(t *testing.T, opt *optimizer.Optimizer) *optimizer.Decision {
+	t.Helper()
+	for _, q := range job.Queries() {
+		d, err := opt.Decide(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Hybrid || d.NDP {
+			return d
+		}
+	}
+	t.Skip("no JOB query decided device-mode at this scale")
+	return nil
+}
+
+// TestDegradedShardMatchesFullFleet runs one device-mode query over a
+// 4-device fleet twice — unconstrained, and with one device denied admission
+// — and requires the degraded run to report the degradation while producing
+// the byte-identical result (partial-fleet degradation must never change an
+// answer).
+func TestDegradedShardMatchesFullFleet(t *testing.T) {
+	ds := testDataset(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	d := deviceQuery(t, opt)
+
+	desc, err := Build(ds.Cat, 4, SchemeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := desc.Validate(ds.Cat); err != nil {
+		t.Fatal(err)
+	}
+	a, err := PlanShards(opt, desc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode == ModeHost {
+		t.Fatalf("device-mode decision planned as host fleet assignment")
+	}
+	if len(a.Shards) != 4 {
+		t.Fatalf("got %d shards, want 4", len(a.Shards))
+	}
+
+	full := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	fullRep, err := full.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullRep.DegradedShards != 0 {
+		t.Fatalf("ungated run degraded %d shards", fullRep.DegradedShards)
+	}
+
+	gate := &denyGate{deny: map[int]bool{1: true}, okAll: true}
+	deg := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	deg.Gate = gate
+	degRep, err := deg.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degRep.DegradedShards < 1 {
+		t.Fatal("denied shard not reported as degraded")
+	}
+	if !degRep.Shards[1].Degraded {
+		t.Fatal("shard 1 not marked degraded")
+	}
+	if got, want := Fingerprint(degRep.Result), Fingerprint(fullRep.Result); got != want {
+		t.Fatalf("degraded fleet changed the result: %s != %s", got, want)
+	}
+	if gate.released != len(gate.admitted) {
+		t.Fatalf("released %d of %d admitted shards", gate.released, len(gate.admitted))
+	}
+	if !gate.okAll {
+		t.Fatal("an admitted shard released with ok=false on a clean run")
+	}
+}
+
+// TestAllShardsDeniedStillAnswers degrades the whole fleet to host execution.
+func TestAllShardsDeniedStillAnswers(t *testing.T) {
+	ds := testDataset(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	d := deviceQuery(t, opt)
+	desc, err := Build(ds.Cat, 2, SchemeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PlanShards(opt, desc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	free := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	want, err := free.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	x.Gate = &denyGate{deny: map[int]bool{0: true, 1: true}}
+	rep, err := x.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devShards := 0
+	for _, sp := range a.Shards {
+		if !(a.Mode == ModeHybrid && sp.Split == 0) {
+			devShards++
+		}
+	}
+	if rep.DegradedShards != devShards {
+		t.Fatalf("degraded %d shards, want %d", rep.DegradedShards, devShards)
+	}
+	if got := Fingerprint(rep.Result); got != Fingerprint(want.Result) {
+		t.Fatal("fully degraded fleet changed the result")
+	}
+	if rep.Batches != 0 {
+		t.Fatalf("fully degraded run still transferred %d batches", rep.Batches)
+	}
+}
+
+// TestSingleDeviceShardPlanMirrorsGlobalDecision pins the N=1 planning
+// invariant: with one device holding the full driving table (frac = 1), the
+// shard-local split re-derivation must reproduce the optimizer's global
+// split exactly.
+func TestSingleDeviceShardPlanMirrorsGlobalDecision(t *testing.T) {
+	ds := testDataset(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	desc, err := Build(ds.Cat, 1, SchemeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range job.Queries() {
+		d, err := opt.Decide(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.Hybrid || d.Split == 0 {
+			continue
+		}
+		a, err := PlanShards(opt, desc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Mode != ModeHybrid {
+			t.Fatalf("%s: mode %s, want hybrid", q.Name, a.Mode)
+		}
+		if a.Shards[0].Frac != 1 {
+			t.Fatalf("%s: single-device frac %v, want 1", q.Name, a.Shards[0].Frac)
+		}
+		if a.Shards[0].Split != d.Split {
+			t.Fatalf("%s: shard split H%d, global decision H%d", q.Name, a.Shards[0].Split, d.Split)
+		}
+	}
+}

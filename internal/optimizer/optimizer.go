@@ -392,6 +392,78 @@ func (o *Optimizer) Decide(q *query.Query) (*Decision, error) {
 	return d, nil
 }
 
+// DecideShard re-runs the split-point calculation for one driving-table
+// shard holding frac of the driving rows (fleet execution, paper §3 applied
+// per partition): the shard's c_node curve is priced against its local
+// statistics via ShardPlanCosts and the candidate splits are restricted to
+// the interior Hk (k ≥ 1) — H0's leaf broadcast and the host-only baseline
+// are fleet-global choices, so a shard only decides between "device joins up
+// to k" and "run my partition on the host". The returned decision carries
+// Hybrid=true with the chosen Split, or Hybrid=false when the shard-local
+// host cost undercuts every feasible device split.
+func (o *Optimizer) DecideShard(p *exec.Plan, frac float64) (*Decision, error) {
+	sc, err := o.Est.ShardPlanCosts(p, frac)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decision{Plan: p, Costs: sc}
+	best := -1
+	bestDist := math.Inf(1)
+	for k := 1; k < len(sc.CNode); k++ {
+		if !devicePlanFits(o.Model, p, k) {
+			continue
+		}
+		if dd := math.Abs(sc.CNode[k] - sc.CTarget); dd < bestDist {
+			best, bestDist = k, dd
+		}
+	}
+	if best < 0 {
+		d.Reason = "shard: no feasible device split (memory budget)"
+		return d, nil
+	}
+	d.Split = best
+	if sc.HybridEst[best] <= sc.HostTotal {
+		d.Hybrid = true
+		d.Reason = fmt.Sprintf("shard frac %.3f: H%d closest to c_target (%.0f ≤ host %.0f)",
+			frac, best, sc.HybridEst[best], sc.HostTotal)
+	} else {
+		d.Reason = fmt.Sprintf("shard frac %.3f: host cheaper (%.0f < H%d %.0f)",
+			frac, sc.HostTotal, best, sc.HybridEst[best])
+	}
+	if d.Hybrid && frac < 1 {
+		// Fleet deepening (N > 1 devices): the gather host is shared by
+		// every shard while shard device chains run in parallel, so a shard
+		// can afford join steps past the single-device balance point. The
+		// fleet estimate for split k overlaps the shard's frac-scaled device
+		// chain with the *global* host remainder (all shards' tuples pass
+		// through one host) plus the global transfer; deepen past best while
+		// the estimate improves. At frac = 1 the fleet degenerates to the
+		// single-device split above, keeping the N=1 mirror invariant.
+		g, err := o.Est.PlanCosts(p)
+		if err != nil {
+			return nil, err
+		}
+		fleetEst := func(k int) float64 {
+			return math.Max(sc.DevPart[k], g.HostPart[k]) + g.Trans[k]
+		}
+		deep, deepCost := best, fleetEst(best)
+		for k := best + 1; k < len(sc.CNode); k++ {
+			if !devicePlanFits(o.Model, p, k) {
+				continue
+			}
+			if c := fleetEst(k); c < deepCost {
+				deep, deepCost = k, c
+			}
+		}
+		if deep != best {
+			d.Split = deep
+			d.Reason = fmt.Sprintf("shard frac %.3f: deepened H%d→H%d (fleet est %.0f, shared host part %.0f)",
+				frac, best, deep, deepCost, g.HostPart[deep])
+		}
+	}
+	return d, nil
+}
+
 // devicePlanFits mirrors device.PlanMemory without importing the package
 // (avoids a dependency cycle through coop).
 func devicePlanFits(m hw.Model, p *exec.Plan, splitAfter int) bool {

@@ -280,6 +280,50 @@ func (l *Ledger) tryAcquireLocked(c Claim) (dev int, ok, allOpen bool) {
 	return best, true, false
 }
 
+// TryAcquireDevice reserves the claim on one specific device — fleet shard
+// admission, where the descriptor pins partitions to devices and there is no
+// least-loaded choice to make. Breaker handling matches tryAcquireLocked: an
+// open breaker counts the skipped admission and may go half-open, a
+// half-open breaker admits a single probe at a time. A denial is the fleet
+// executor's signal to degrade that shard to host execution.
+func (l *Ledger) TryAcquireDevice(dev int, c Claim) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if dev < 0 || dev >= len(l.devs) {
+		return false
+	}
+	d := &l.devs[dev]
+	if l.brkThreshold > 0 {
+		if d.breaker == breakerOpen {
+			d.skipped++
+			if d.skipped >= l.brkProbeAfter {
+				d.breaker = breakerHalfOpen
+				d.skipped = 0
+				l.publishDevLocked(dev)
+			} else {
+				return false
+			}
+		}
+		if d.breaker == breakerHalfOpen && d.probing {
+			return false
+		}
+	}
+	if d.cmdFree < 1 || d.memFree < c.MemBytes || d.slotFree < c.BufSlots {
+		return false
+	}
+	if d.breaker == breakerHalfOpen {
+		d.probing = true
+		l.countLocked("sched.breaker.probe")
+	}
+	d.cmdFree--
+	d.memFree -= c.MemBytes
+	d.slotFree -= c.BufSlots
+	d.assigned += c.EstDeviceNs
+	d.inflight += c.EstDeviceNs
+	l.publishDevLocked(dev)
+	return true
+}
+
 // TryAcquire reserves the claim on the least-loaded device that fits it,
 // without blocking. It returns the device index, or ok=false when every
 // device is saturated — the admission controller's signal to degrade.

@@ -23,6 +23,7 @@ import (
 	"hybridndp/internal/clock"
 	"hybridndp/internal/coop"
 	"hybridndp/internal/device"
+	"hybridndp/internal/fleet"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/obs"
 	"hybridndp/internal/optimizer"
@@ -83,6 +84,14 @@ type Config struct {
 	BreakerProbeAfter int
 	// Policy selects adaptive serving or one of the forced baselines.
 	Policy Policy
+	// Fleet, when set, routes every decided query through sharded
+	// scatter-gather execution over the fleet executor instead of the
+	// single-device cooperative path. New wires the executor's admission
+	// gate to this scheduler's ledger, so shard admission shares the same
+	// command slots, memory budgets and circuit breakers; a shard denied
+	// admission (or behind an open breaker) degrades to host execution
+	// inside the run. Policy is ignored while Fleet is set.
+	Fleet *fleet.Executor
 	// Clock is the wall-time source for ticket timestamps (queue-wait
 	// measurement, priority aging, admission timeouts). Nil means the system
 	// clock; tests inject clock.NewFake() to make aging deterministic.
@@ -213,6 +222,9 @@ func New(opt *optimizer.Optimizer, exec *coop.Executor, m hw.Model, cfg Config) 
 	}
 	s.ledger.ConfigureBreaker(cfg.BreakerThreshold, cfg.BreakerProbeAfter)
 	s.ledger.bindMetrics(cfg.Metrics)
+	if cfg.Fleet != nil {
+		cfg.Fleet.Gate = &fleetGate{l: s.ledger, m: cfg.Metrics}
+	}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
 	s.wg.Add(cfg.Workers)
@@ -407,6 +419,11 @@ func (s *Scheduler) process(t *Ticket) {
 	}
 	unloaded := strategyOf(d)
 	base.Unloaded = unloaded.String()
+
+	if s.cfg.Fleet != nil {
+		s.processFleet(t, &base, d)
+		return
+	}
 
 	cand, dev, err := s.place(t.ctx, d)
 	if err != nil {
