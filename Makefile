@@ -16,7 +16,7 @@ vet:
 # hybridlint: the in-tree analyzer suite (wallclock, lockcheck, maporder,
 # vtunits) enforcing virtual-time and determinism discipline. See DESIGN.md §8.
 lint:
-	$(GO) run ./cmd/hybridlint ./...
+	$(GO) run ./cmd/hybridlint -budget 15s ./...
 
 test:
 	$(GO) test ./...

@@ -1,32 +1,51 @@
 // Command hybridlint is the repository's static-analysis gate: a multichecker
-// running the four custom analyzers that machine-check the simulator's core
+// running the eight custom analyzers that machine-check the simulator's core
 // invariants (see DESIGN.md §8):
 //
-//	wallclock  no wall-clock time / global math/rand in simulation packages
-//	lockcheck  "guarded by mu" fields only touched with mu held
-//	maporder   no order-dependent effects inside map iteration
-//	vtunits    no raw vclock/time conversions or cross-timeline arithmetic
+//	wallclock    no wall-clock time / global math/rand in simulation packages
+//	lockcheck    "guarded by mu" fields only touched with mu held
+//	maporder     no order-dependent effects inside map iteration
+//	vtunits      no raw vclock/time conversions or cross-timeline arithmetic
+//	chargecheck  modeled I/O must charge a vclock.Timeline (whole-program, fact-based)
+//	spanbalance  every obs.Trace.Start paired with End on all control-flow paths
+//	errsink      no discarded error results from simulator emit/inject/recovery APIs
+//	detsched     no scheduler-order nondeterminism (multi-case selects, arrival-order fan-in)
 //
 // Usage:
 //
-//	hybridlint [-only name[,name]] [./...]
+//	hybridlint [-only name[,name]] [-json] [-github] [-budget 30s] [./...]
 //
 // The tool always analyzes the whole module containing the working directory
-// (the pattern argument is accepted for familiarity). It exits non-zero when
-// any diagnostic survives the //lint:allow filter.
+// (the pattern argument is accepted for familiarity). Analyzers run
+// concurrently; the merged output is fully sorted (file, line, column,
+// analyzer, message) and therefore stable across runs. It exits 1 when any
+// diagnostic survives the //lint:allow filter, 2 on load/usage errors, and 3
+// when -budget is set and the run exceeded it (the tier-1 gate must stay
+// fast enough to run on every push).
+//
+// -json prints the diagnostics as a JSON array of
+// {file,line,col,analyzer,message} objects for tooling; -github prints
+// GitHub Actions workflow annotations (::error file=...) so findings surface
+// inline on pull requests. Both forms use the same deterministic order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"hybridndp/internal/analysis"
+	"hybridndp/internal/analysis/chargecheck"
+	"hybridndp/internal/analysis/detsched"
+	"hybridndp/internal/analysis/errsink"
 	"hybridndp/internal/analysis/load"
 	"hybridndp/internal/analysis/lockcheck"
 	"hybridndp/internal/analysis/maporder"
+	"hybridndp/internal/analysis/spanbalance"
 	"hybridndp/internal/analysis/vtunits"
 	"hybridndp/internal/analysis/wallclock"
 )
@@ -36,16 +55,32 @@ var all = []*analysis.Analyzer{
 	lockcheck.Analyzer,
 	maporder.Analyzer,
 	vtunits.Analyzer,
+	chargecheck.Analyzer,
+	spanbalance.Analyzer,
+	errsink.Analyzer,
+	detsched.Analyzer,
+}
+
+// jsonDiag is the machine-readable diagnostic shape (-json).
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "print diagnostics as a JSON array of {file,line,col,analyzer,message}")
+	github := flag.Bool("github", false, "print diagnostics as GitHub Actions ::error annotations")
+	budget := flag.Duration("budget", 0, "fail with exit code 3 if the run exceeds this wall time (0 = no budget)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range all {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -67,6 +102,7 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	root, err := moduleRoot()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hybridlint:", err)
@@ -82,17 +118,56 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hybridlint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		rel := d.Pos.Filename
-		if r, err := filepath.Rel(root, rel); err == nil {
-			rel = r
+	elapsed := time.Since(start)
+
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil {
+			return r
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		return name
 	}
+	switch {
+	case *asJSON:
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: rel(d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "hybridlint:", err)
+			os.Exit(2)
+		}
+	case *github:
+		for _, d := range diags {
+			// https://docs.github.com/actions/reference/workflow-commands:
+			// property values need %, CR and LF escaped.
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=hybridlint %s::%s\n",
+				rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, escapeAnnotation(d.Message))
+		}
+	default:
+		for _, d := range diags {
+			fmt.Printf("%s:%d:%d: %s: %s\n", rel(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hybridlint: %d issue(s)\n", len(diags))
 		os.Exit(1)
 	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "hybridlint: run took %s, over the %s budget\n", elapsed.Round(time.Millisecond), *budget)
+		os.Exit(3)
+	}
+}
+
+// escapeAnnotation escapes a workflow-command message value.
+func escapeAnnotation(s string) string {
+	r := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+	return r.Replace(s)
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

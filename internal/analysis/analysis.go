@@ -15,6 +15,19 @@
 // analyzer explicitly allow-lists (Analyzer.AllowIn); anywhere else the
 // directive itself is reported as a violation, so suppressions cannot creep
 // into the simulator unnoticed.
+//
+// Facts: an analyzer may attach a Fact to a types.Object (typically a
+// *types.Func) with Pass.ExportObjectFact and query it later with
+// Pass.ImportObjectFact, mirroring go/analysis object facts. Units are
+// analyzed in the order the loader produced them — dependencies before
+// dependents (load.Module and load.Tree both type-check in topological
+// order) — so a fact exported while analyzing internal/flash is visible when
+// the same analyzer reaches internal/device. Facts are scoped per analyzer
+// per Run: two analyzers never see each other's facts.
+//
+// The driver runs the analyzers of one Run call concurrently (one goroutine
+// per analyzer, each walking the units sequentially so facts stay ordered)
+// and merges their diagnostics into one deterministic, fully sorted list.
 package analysis
 
 import (
@@ -25,6 +38,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one static check.
@@ -46,6 +60,12 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
+// Fact is a datum an analyzer attaches to a types.Object so that later
+// passes of the same analyzer — in the same package or in a downstream
+// package — can query it. Implementations are plain structs with the AFact
+// marker method, mirroring golang.org/x/tools/go/analysis.
+type Fact interface{ AFact() }
+
 // Pass carries one analyzer's view of one type-checked package.
 type Pass struct {
 	Analyzer *Analyzer
@@ -55,7 +75,30 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	facts map[types.Object]Fact // shared across the analyzer's units, in load order
 	diags []Diagnostic
+}
+
+// ExportObjectFact associates fact with obj for the rest of this analyzer's
+// run. Object identity is preserved across packages by the loader (module-
+// internal imports resolve to the already-checked *types.Package), so a fact
+// exported on a function while analyzing its defining package is found again
+// from call sites in importing packages. Exporting twice overwrites.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || fact == nil {
+		return
+	}
+	p.facts[obj] = fact
+}
+
+// ImportObjectFact returns the fact previously exported on obj by this
+// analyzer, if any.
+func (p *Pass) ImportObjectFact(obj types.Object) (Fact, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	f, ok := p.facts[obj]
+	return f, ok
 }
 
 // Diagnostic is one reported violation.
@@ -140,31 +183,36 @@ type Unit struct {
 
 // Run applies every analyzer to every unit, resolves //lint:allow
 // suppressions, and returns the surviving diagnostics sorted by position.
+// Analyzers run concurrently (one goroutine each); within one analyzer the
+// units are visited strictly in the order given, which the loaders guarantee
+// to be dependency order, so object facts flow from defining packages to
+// importing packages. The merged output is fully ordered (file, line,
+// column, analyzer, message) and therefore independent of goroutine
+// interleaving.
 func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var all []Diagnostic
-	for _, u := range units {
-		dirs := collectDirectives(u.Fset, u.Files)
-		for _, a := range analyzers {
-			if len(a.Packages) > 0 && !pathMatches(u.Path, a.Packages) {
-				// Out-of-scope package: a directive naming this analyzer is
-				// dead weight but not a violation (nothing can be suppressed).
-				continue
-			}
-			files := u.Files
-			if a.SkipTests {
-				files = nil
-				for _, f := range u.Files {
-					if !strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
-						files = append(files, f)
-					}
-				}
-			}
-			pass := &Pass{Analyzer: a, Fset: u.Fset, Files: files, Path: u.Path, Pkg: u.Pkg, Info: u.Info}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
-			}
-			all = append(all, filterAllowed(pass.diags, dirs, a, u.Path)...)
+	dirs := make([][]directive, len(units))
+	for i, u := range units {
+		dirs[i] = collectDirectives(u.Fset, u.Files)
+	}
+	results := make([][]Diagnostic, len(analyzers))
+	errs := make([]error, len(analyzers))
+	var wg sync.WaitGroup
+	for ai := range analyzers {
+		wg.Add(1)
+		go func(ai int) {
+			defer wg.Done()
+			results[ai], errs[ai] = runOne(units, dirs, analyzers[ai])
+		}(ai)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
+	}
+	var all []Diagnostic
+	for _, r := range results {
+		all = append(all, r...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		pi, pj := all[i].Pos, all[j].Pos
@@ -177,9 +225,41 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if pi.Column != pj.Column {
 			return pi.Column < pj.Column
 		}
-		return all[i].Analyzer < all[j].Analyzer
+		if all[i].Analyzer != all[j].Analyzer {
+			return all[i].Analyzer < all[j].Analyzer
+		}
+		return all[i].Message < all[j].Message
 	})
 	return all, nil
+}
+
+// runOne walks the units in load order for a single analyzer, threading one
+// fact store through every pass.
+func runOne(units []*Unit, dirs [][]directive, a *Analyzer) ([]Diagnostic, error) {
+	facts := map[types.Object]Fact{}
+	var out []Diagnostic
+	for i, u := range units {
+		if len(a.Packages) > 0 && !pathMatches(u.Path, a.Packages) {
+			// Out-of-scope package: a directive naming this analyzer is
+			// dead weight but not a violation (nothing can be suppressed).
+			continue
+		}
+		files := u.Files
+		if a.SkipTests {
+			files = nil
+			for _, f := range u.Files {
+				if !strings.HasSuffix(u.Fset.Position(f.Pos()).Filename, "_test.go") {
+					files = append(files, f)
+				}
+			}
+		}
+		pass := &Pass{Analyzer: a, Fset: u.Fset, Files: files, Path: u.Path, Pkg: u.Pkg, Info: u.Info, facts: facts}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, u.Path, err)
+		}
+		out = append(out, filterAllowed(pass.diags, dirs[i], a, u.Path)...)
+	}
+	return out, nil
 }
 
 // filterAllowed drops diagnostics suppressed by a directive in an allow-listed

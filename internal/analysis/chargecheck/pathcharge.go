@@ -1,0 +1,212 @@
+// Path-sensitive "charges on every path" analysis: a conservative abstract
+// interpretation over the statement structure. It exists to compute the
+// strong form of ChargesFact (Always) — the weak containment form drives the
+// diagnostics, see the package comment for why.
+package chargecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"hybridndp/internal/analysis"
+)
+
+// chargesOnAllPaths reports whether every terminating path through body
+// passes a charging call: a direct Timeline.Charge / WaitUntil, a call to a
+// function in local (the intra-package fixpoint set), or a call to a callee
+// carrying an imported ChargesFact. A defer of a charging call covers every
+// exit after its registration. Loop bodies and else-less if branches may run
+// zero times, so they never satisfy the requirement on their own; a panic
+// terminates its path without needing a charge.
+func chargesOnAllPaths(pass *analysis.Pass, body *ast.BlockStmt, local map[*types.Func]bool) bool {
+	w := &pathWalker{pass: pass, local: local, ok: true}
+	after, term := w.stmts(body.List, false)
+	return w.ok && (term || after)
+}
+
+// pathWalker carries the verdict across the walk.
+type pathWalker struct {
+	pass  *analysis.Pass
+	local map[*types.Func]bool
+	ok    bool // no uncharged terminating path seen yet
+}
+
+// stmts interprets a statement list starting with the given charged state.
+// It returns the charged state at the fall-through exit and whether every
+// path through the list terminates (returns, panics, or branches away).
+func (w *pathWalker) stmts(list []ast.Stmt, charged bool) (after, terminated bool) {
+	for _, s := range list {
+		var term bool
+		charged, term = w.stmt(s, charged)
+		if term {
+			return charged, true
+		}
+	}
+	return charged, false
+}
+
+func (w *pathWalker) stmt(s ast.Stmt, charged bool) (after, terminated bool) {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		if !charged && !w.chargesIn(st) {
+			w.ok = false
+		}
+		return charged, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave this path; the target's returns are
+		// validated where they occur.
+		return charged, true
+	case *ast.ExprStmt:
+		if isPanic(st.X) {
+			return charged, true
+		}
+		return charged || w.chargesIn(st), false
+	case *ast.DeferStmt:
+		// A deferred charging call (or a deferred closure containing one)
+		// runs at every subsequent exit.
+		if w.chargesInCall(st.Call) || w.chargesIn(st.Call) {
+			return true, false
+		}
+		return charged, false
+	case *ast.BlockStmt:
+		return w.stmts(st.List, charged)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, charged)
+	case *ast.IfStmt:
+		cond := charged || w.chargesInExprs(st.Init, st.Cond)
+		thenAfter, thenTerm := w.stmts(st.Body.List, cond)
+		elseAfter, elseTerm := cond, false
+		if st.Else != nil {
+			elseAfter, elseTerm = w.stmt(st.Else, cond)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return cond, true
+		case thenTerm:
+			return elseAfter, false
+		case elseTerm:
+			return thenAfter, false
+		default:
+			return thenAfter && elseAfter, false
+		}
+	case *ast.ForStmt:
+		bodyCharged := charged || w.chargesInExprs(st.Init, st.Cond)
+		w.stmts(st.Body.List, bodyCharged) // validate returns inside
+		return charged, false              // zero iterations possible
+	case *ast.RangeStmt:
+		w.stmts(st.Body.List, charged)
+		return charged, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.clauses(s, charged)
+	default:
+		return charged || w.chargesIn(s), false
+	}
+}
+
+// clauses interprets switch/type-switch/select uniformly. A select always
+// runs one clause; a switch only covers all paths when it has a default.
+func (w *pathWalker) clauses(s ast.Stmt, charged bool) (after, terminated bool) {
+	var bodies [][]ast.Stmt
+	exhaustive := false
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			if cc.List == nil {
+				exhaustive = true
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			if cc.List == nil {
+				exhaustive = true
+			}
+		}
+	case *ast.SelectStmt:
+		exhaustive = true // one clause always runs (blocking select)
+		for _, c := range st.Body.List {
+			bodies = append(bodies, c.(*ast.CommClause).Body)
+		}
+	}
+	if len(bodies) == 0 {
+		return charged, false
+	}
+	allAfter, allTerm := true, true
+	for _, b := range bodies {
+		a, t := w.stmts(b, charged)
+		if !t {
+			allTerm = false
+			if !a {
+				allAfter = false
+			}
+		}
+	}
+	if exhaustive && allTerm {
+		return charged, true
+	}
+	if exhaustive && allAfter {
+		return true, false
+	}
+	return charged, false
+}
+
+// chargesIn reports whether the node contains a charging call, skipping
+// nested function literals (their bodies only run if called).
+func (w *pathWalker) chargesIn(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := m.(*ast.CallExpr); ok && w.chargesInCall(call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// chargesInExprs is chargesIn over an optional init statement and condition.
+func (w *pathWalker) chargesInExprs(init ast.Stmt, cond ast.Expr) bool {
+	if init != nil && w.chargesIn(init) {
+		return true
+	}
+	return cond != nil && w.chargesIn(cond)
+}
+
+// chargesInCall classifies one call expression as charging.
+func (w *pathWalker) chargesInCall(call *ast.CallExpr) bool {
+	if isDirectCharge(w.pass, call) {
+		return true
+	}
+	if lit, ok := call.Fun.(*ast.FuncLit); ok {
+		// Immediately-invoked or deferred literal: its body runs here.
+		return w.chargesIn(lit.Body)
+	}
+	callee := calleeFunc(w.pass, call)
+	if callee == nil {
+		return false
+	}
+	if w.local[callee] {
+		return true
+	}
+	_, ok := w.pass.ImportObjectFact(callee)
+	return ok
+}
+
+// isPanic reports whether e is a call to the builtin panic.
+func isPanic(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,12 @@
+package detsched_test
+
+import (
+	"testing"
+
+	"hybridndp/internal/analysis/analysistest"
+	"hybridndp/internal/analysis/detsched"
+)
+
+func TestDetsched(t *testing.T) {
+	analysistest.Run(t, "../testdata", detsched.Analyzer, "fleet")
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"hybridndp/internal/analysis/analysistest"
+	"hybridndp/internal/analysis/errsink"
+)
+
+func TestErrsink(t *testing.T) {
+	analysistest.Run(t, "../testdata", errsink.Analyzer, "fault")
+}

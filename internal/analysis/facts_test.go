@@ -1,0 +1,140 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hybridndp/internal/analysis"
+	"hybridndp/internal/analysis/load"
+)
+
+// markedFact marks a function whose name starts with "Marked".
+type markedFact struct{}
+
+func (*markedFact) AFact() {}
+
+// factAnalyzer exports a fact on every Marked* function and reports every
+// call to a fact-carrying function — so a diagnostic in package b proves the
+// fact exported while analyzing package a survived the package boundary.
+var factAnalyzer = &analysis.Analyzer{
+	Name: "factprobe",
+	Doc:  "test analyzer: flags calls to fact-marked functions",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.FuncDecl:
+					if obj, ok := pass.Info.Defs[v.Name].(*types.Func); ok {
+						if len(v.Name.Name) >= 6 && v.Name.Name[:6] == "Marked" {
+							pass.ExportObjectFact(obj, &markedFact{})
+						}
+					}
+				case *ast.CallExpr:
+					var id *ast.Ident
+					switch fun := v.Fun.(type) {
+					case *ast.Ident:
+						id = fun
+					case *ast.SelectorExpr:
+						id = fun.Sel
+					default:
+						return true
+					}
+					if fn, ok := pass.Info.Uses[id].(*types.Func); ok {
+						if _, found := pass.ImportObjectFact(fn); found {
+							pass.Reportf(v.Pos(), "call to marked %s", fn.Name())
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// writeTree lays a two-package fixture tree (b imports a) into a temp dir.
+func writeTree(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"a/a.go": "package a\n\nfunc MarkedHelper() {}\n\nfunc plain() {}\n",
+		"b/b.go": "package b\n\nimport \"a\"\n\nfunc use() {\n\ta.MarkedHelper()\n}\n",
+	}
+	for name, src := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestFactRoundTrip checks that a fact exported on an object while analyzing
+// its defining package is importable from a downstream package's pass.
+func TestFactRoundTrip(t *testing.T) {
+	units, err := load.Tree(writeTree(t))
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	diags, err := analysis.Run(units, []*analysis.Analyzer{factAnalyzer})
+	if err != nil {
+		t.Fatalf("running: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if filepath.Base(d.Pos.Filename) != "b.go" || d.Message != "call to marked MarkedHelper" {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestRunDeterministic checks that repeated concurrent runs of multiple
+// analyzers produce byte-identical, fully sorted output.
+func TestRunDeterministic(t *testing.T) {
+	units, err := load.Tree(writeTree(t))
+	if err != nil {
+		t.Fatalf("loading tree: %v", err)
+	}
+	// A second analyzer reporting at the same position as the first, so the
+	// sort's analyzer/message tiebreakers are exercised.
+	echo := &analysis.Analyzer{
+		Name: "echoprobe",
+		Doc:  "test analyzer: flags every call",
+		Run: func(pass *analysis.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						pass.Reportf(call.Pos(), "call seen")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	var first []analysis.Diagnostic
+	for i := 0; i < 20; i++ {
+		diags, err := analysis.Run(units, []*analysis.Analyzer{factAnalyzer, echo})
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			first = diags
+			if len(first) != 2 {
+				t.Fatalf("got %d diagnostics, want 2: %v", len(first), first)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(diags, first) {
+			t.Fatalf("run %d differs:\n got %v\nwant %v", i, diags, first)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package load_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hybridndp/internal/analysis/load"
+)
+
+func write(t *testing.T, root, name, src string) {
+	t.Helper()
+	p := filepath.Join(root, name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyntaxErrorReportsCleanly checks that a package with a parse error
+// comes back as an error naming the offending file — not a panic, and not a
+// silent skip.
+func TestSyntaxErrorReportsCleanly(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module broken\n\ngo 1.22\n")
+	write(t, root, "bad/bad.go", "package bad\n\nfunc oops( {\n")
+	_, err := load.Module(root)
+	if err == nil {
+		t.Fatal("load.Module on a syntax-error package: got nil error")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}
+
+// TestTypeErrorReportsCleanly checks the same for a type-check failure.
+func TestTypeErrorReportsCleanly(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module broken\n\ngo 1.22\n")
+	write(t, root, "bad/bad.go", "package bad\n\nvar x int = \"not an int\"\n")
+	_, err := load.Module(root)
+	if err == nil {
+		t.Fatal("load.Module on a type-error package: got nil error")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error does not name the offending package: %v", err)
+	}
+}
+
+// TestTreeSyntaxError checks the fixture-tree loader path as well — the
+// analysistest harness depends on this not panicking.
+func TestTreeSyntaxError(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "bad/bad.go", "package bad\n\nfunc oops( {\n")
+	_, err := load.Tree(root)
+	if err == nil {
+		t.Fatal("load.Tree on a syntax-error package: got nil error")
+	}
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error does not name the offending file: %v", err)
+	}
+}
+
+// TestModulePathMissing checks that a missing go.mod is a clean error.
+func TestModulePathMissing(t *testing.T) {
+	if _, err := load.ModulePath(t.TempDir()); err == nil {
+		t.Fatal("load.ModulePath without go.mod: got nil error")
+	}
+}
+
+// TestModulePath reads the declared module path back.
+func TestModulePath(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module example.com/demo\n\ngo 1.22\n")
+	got, err := load.ModulePath(root)
+	if err != nil {
+		t.Fatalf("ModulePath: %v", err)
+	}
+	if got != "example.com/demo" {
+		t.Errorf("ModulePath = %q, want %q", got, "example.com/demo")
+	}
+}

@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"hybridndp/internal/analysis/analysistest"
+	"hybridndp/internal/analysis/spanbalance"
+)
+
+func TestSpanbalance(t *testing.T) {
+	analysistest.Run(t, "../testdata", spanbalance.Analyzer, "lsm")
+}

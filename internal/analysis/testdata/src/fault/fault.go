@@ -1,0 +1,80 @@
+// Package fault is the errsink fixture: error-returning simulator APIs
+// (modeled injectors, recovery feeds, emit callbacks) whose errors are
+// discarded in every way the analyzer flags, next to properly-handled and
+// out-of-scope (non-simulator) calls.
+package fault
+
+import "fmt"
+
+// Inject models injecting one fault event.
+func Inject(ev string) error {
+	if ev == "" {
+		return fmt.Errorf("empty event")
+	}
+	return nil
+}
+
+// Recover models feeding one recovery outcome; returns the applied id.
+func Recover(id int) (int, error) {
+	return id, nil
+}
+
+// Batch stands in for a result batch streamed through an emit callback.
+type Batch struct{}
+
+// sinkStatement drops the error by using the call as a bare statement.
+func sinkStatement() {
+	Inject("flip") // want `error result of fault\.Inject is discarded: the call is used as a statement`
+}
+
+// sinkBlank drops the error with the blank identifier.
+func sinkBlank() {
+	_ = Inject("flip") // want `error result of fault\.Inject is assigned to _`
+}
+
+// sinkTuple drops the error position of a multi-result call.
+func sinkTuple() int {
+	v, _ := Recover(1) // want `error result of fault\.Recover is assigned to _`
+	return v
+}
+
+// sinkGo launches the call on a goroutine, so the error vanishes.
+func sinkGo() {
+	go Inject("async") // want `error result of fault\.Inject vanishes with the goroutine`
+}
+
+// sinkDefer defers the call, so the error is discarded at function exit.
+func sinkDefer() {
+	defer Inject("cleanup") // want `error result of fault\.Inject is discarded by defer`
+}
+
+// drive drops the error of a func-valued emit callback.
+func drive(emit func(Batch) error) {
+	emit(Batch{}) // want `error result of emit is discarded: the call is used as a statement`
+}
+
+// driveOK propagates the emit error.
+func driveOK(emit func(Batch) error) error {
+	return emit(Batch{})
+}
+
+// okHandled consumes every error.
+func okHandled() error {
+	if err := Inject("flip"); err != nil {
+		return err
+	}
+	v, err := Recover(1)
+	if err != nil {
+		return err
+	}
+	if v < 0 {
+		return fmt.Errorf("bad id %d", v)
+	}
+	return nil
+}
+
+// okNonSim: error-returning calls into non-simulator packages are out of
+// scope — this analyzer guards the simulator contract, not general hygiene.
+func okNonSim() {
+	fmt.Println("fine")
+}

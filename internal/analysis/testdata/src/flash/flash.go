@@ -1,0 +1,39 @@
+// Package flash is a fixture stub of the real internal/flash package for the
+// chargecheck fixtures. Flash.ReadAt charges its timeline internally — like
+// the real one — so the analyzer exports a charges fact for it and callers
+// in downstream fixture packages are covered without charging again.
+// Mmap.ReadAt is the deliberate counter-example: a raw mapped read with no
+// accounting, so callers must charge themselves or be flagged.
+package flash
+
+import "vclock"
+
+// Flash is the charging flash channel.
+type Flash struct {
+	TL *vclock.Timeline
+}
+
+// ReadAt models one flash read and charges for the bytes moved.
+func (f *Flash) ReadAt(p []byte, off int64) (int, error) {
+	if f.TL != nil {
+		f.TL.Charge("flash.read", vclock.Duration(len(p)))
+	}
+	return len(p), nil
+}
+
+// ReadAtSeq models a sequential flash read; same accounting.
+func (f *Flash) ReadAtSeq(p []byte, off int64) (int, error) {
+	if f.TL != nil {
+		f.TL.Charge("flash.read.seq", vclock.Duration(len(p)))
+	}
+	return len(p), nil
+}
+
+// Mmap is a raw mapped view of the flash image: its ReadAt moves modeled
+// bytes but deliberately does not charge, so accounting is the caller's job.
+type Mmap struct{}
+
+// ReadAt copies from the mapped image without touching any timeline.
+func (m *Mmap) ReadAt(p []byte, off int64) (int, error) {
+	return len(p), nil
+}

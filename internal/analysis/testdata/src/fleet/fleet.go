@@ -1,0 +1,136 @@
+// Package fleet is the detsched fixture: scheduler-order-dependent
+// constructions (multi-case selects, arrival-order fan-in, unordered
+// iteration feeding digests) next to their deterministic counterparts.
+package fleet
+
+import (
+	"crypto/sha256"
+	"sort"
+	"sync"
+)
+
+// badSelect races two channels: whichever is ready first wins.
+func badSelect(a, b chan int) int {
+	select { // want `select with 2 comm cases resolves in scheduler order`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// okPoll: a default clause makes the select a non-blocking poll.
+func okPoll(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}
+
+// okSingle: one comm case has exactly one outcome.
+func okSingle(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}
+
+// registry holds results in a sync.Map, whose iteration and interleaving
+// are both scheduler-dependent.
+type registry struct {
+	results sync.Map // want `sync\.Map is scheduler-order-dependent`
+}
+
+// badFanIn collects worker results by arrival order.
+func badFanIn(parts []int) []int {
+	var out []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, p*2) // want `append to out inside a goroutine orders results by arrival`
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return out
+}
+
+// badMapMerge interleaves shared-map writes in scheduler order.
+func badMapMerge(parts []int) map[int]int {
+	out := map[int]int{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			mu.Lock()
+			out[p] = p * 2 // want `write to shared map out inside a goroutine interleaves in scheduler order`
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return out
+}
+
+// okFanIn writes results[i] by the worker's own index: deterministic.
+func okFanIn(parts []int) []int {
+	out := make([]int, len(parts))
+	var wg sync.WaitGroup
+	for i, p := range parts {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			out[i] = p * 2
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// Fingerprint folds values into a stable digest — when fed in a stable order.
+func Fingerprint(vals []int) uint64 {
+	var acc uint64
+	for _, v := range vals {
+		acc = acc*1099511628211 + uint64(v)
+	}
+	return acc
+}
+
+// badMapDigest feeds a hash in map iteration order.
+func badMapDigest(m map[string][]byte) []byte {
+	h := sha256.New()
+	for k := range m { // want `map iteration order feeds Write`
+		h.Write([]byte(k))
+	}
+	return h.Sum(nil)
+}
+
+// badMapFingerprint feeds a fingerprint in map iteration order.
+func badMapFingerprint(m map[int][]int) uint64 {
+	var acc uint64
+	for _, v := range m { // want `map iteration order feeds Fingerprint`
+		acc ^= Fingerprint(v)
+	}
+	return acc
+}
+
+// okSortedDigest iterates sorted keys: same digest every run.
+func okSortedDigest(m map[string][]byte) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+	}
+	return h.Sum(nil)
+}

@@ -1,0 +1,129 @@
+// Package lsm is the spanbalance fixture: spans opened and closed in every
+// legal way (explicit End, defer, attr chains, ownership transfers) next to
+// the leak shapes the analyzer must flag (early-return leaks, dropped and
+// discarded Start results, reassignment while open, per-iteration leaks).
+package lsm
+
+import (
+	"errors"
+
+	"obs"
+	"vclock"
+)
+
+var errDemo = errors.New("demo")
+
+func work() bool { return true }
+
+func more() {}
+
+func register(sp *obs.Span) {}
+
+// balanced: straight-line Start/End.
+func balanced(tr *obs.Trace, tl *vclock.Timeline) {
+	sp := tr.Start(tl, "balanced")
+	sp.End()
+}
+
+// deferred: defer covers every exit, including the early return.
+func deferred(tr *obs.Trace, tl *vclock.Timeline) {
+	sp := tr.Start(tl, "deferred")
+	defer sp.End()
+	if work() {
+		return
+	}
+	more()
+}
+
+// leaky: the error path returns with the span still open.
+func leaky(tr *obs.Trace, tl *vclock.Timeline, fail bool) error {
+	sp := tr.Start(tl, "leaky")
+	if fail {
+		return errDemo // want `span "leaky" \(started at line \d+\) may still be open at this return`
+	}
+	sp.End()
+	return nil
+}
+
+// dropped: the Start result is neither kept nor ended.
+func dropped(tr *obs.Trace, tl *vclock.Timeline) {
+	tr.Start(tl, "dropped") // want `span "dropped" is started and dropped`
+}
+
+// discarded: assigning to _ can never be ended.
+func discarded(tr *obs.Trace, tl *vclock.Timeline) {
+	_ = tr.Start(tl, "discarded") // want `span "discarded" is started and discarded`
+}
+
+// chained: attr chains are transparent on both the Start and the End side.
+func chained(tr *obs.Trace, tl *vclock.Timeline, n int) {
+	sp := tr.Start(tl, "chained").Attr("k", "v").AttrInt("n", n)
+	sp.AttrInt("rows", n).End()
+}
+
+// inlineEnd: a whole Start-to-End chain in one statement is balanced.
+func inlineEnd(tr *obs.Trace, tl *vclock.Timeline) {
+	tr.Start(tl, "inline").Attr("k", "v").End()
+}
+
+// restart: reassigning the variable orphans the first span — reported at
+// the reassignment (the new span is then tracked under the name as usual).
+func restart(tr *obs.Trace, tl *vclock.Timeline) {
+	sp := tr.Start(tl, "first")
+	sp = tr.Start(tl, "second") // want `span variable sp is reassigned while span "first" is still open`
+	sp.End()
+}
+
+// branchLeak: ended on one branch only.
+func branchLeak(tr *obs.Trace, tl *vclock.Timeline, deep bool) {
+	sp := tr.Start(tl, "branch")
+	if deep {
+		sp.End()
+	}
+} // want `span "branch" \(started at line \d+\) may still be open at the end of the function`
+
+// escapeArg: passing the span away transfers ownership.
+func escapeArg(tr *obs.Trace, tl *vclock.Timeline) {
+	sp := tr.Start(tl, "escape-arg")
+	register(sp)
+}
+
+// escapeReturn: returning the span transfers ownership to the caller; attr
+// chains before the return do not count as escapes on their own.
+func escapeReturn(tr *obs.Trace, tl *vclock.Timeline) *obs.Span {
+	sp := tr.Start(tl, "escape-return")
+	sp.Attr("owner", "caller")
+	return sp
+}
+
+// escapeClosure: a closure capturing the span owns its End.
+func escapeClosure(tr *obs.Trace, tl *vclock.Timeline) func() {
+	sp := tr.Start(tl, "escape-closure")
+	return func() { sp.End() }
+}
+
+// panicPath: a panic terminates the path without counting as a leak.
+func panicPath(tr *obs.Trace, tl *vclock.Timeline, bad bool) {
+	sp := tr.Start(tl, "panic-path")
+	if bad {
+		panic("bad")
+	}
+	sp.End()
+}
+
+// loopLeak: one leaked span per iteration.
+func loopLeak(tr *obs.Trace, tl *vclock.Timeline, n int) {
+	for i := 0; i < n; i++ {
+		sp := tr.Start(tl, "iter") // want `span "iter" started in a loop body is not ended before the iteration ends`
+		sp.Attr("phase", "compact")
+	}
+}
+
+// loopBalanced: the per-iteration span is closed before the body ends.
+func loopBalanced(tr *obs.Trace, tl *vclock.Timeline, n int) {
+	for i := 0; i < n; i++ {
+		sp := tr.Start(tl, "iter-ok")
+		sp.AttrInt("i", i)
+		sp.End()
+	}
+}

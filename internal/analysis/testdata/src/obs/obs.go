@@ -1,0 +1,32 @@
+// Package obs is a fixture stub of the real internal/obs tracing surface:
+// Trace.Start opens a span on a timeline, Span.End closes it, Attr/AttrInt
+// return the span for chaining. Just enough for the spanbalance fixtures to
+// type-check; the analyzer matches these types by package-path suffix.
+package obs
+
+import "vclock"
+
+// Trace collects spans.
+type Trace struct {
+	open int
+}
+
+// Span is one traced interval.
+type Span struct {
+	name string
+}
+
+// Start opens a span on tl.
+func (tr *Trace) Start(tl *vclock.Timeline, name string) *Span {
+	tr.open++
+	return &Span{name: name}
+}
+
+// End closes the span. Idempotent and nil-safe, like the real one.
+func (s *Span) End() {}
+
+// Attr attaches a string attribute and returns s for chaining.
+func (s *Span) Attr(k, v string) *Span { return s }
+
+// AttrInt attaches an integer attribute and returns s for chaining.
+func (s *Span) AttrInt(k string, v int) *Span { return s }

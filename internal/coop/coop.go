@@ -604,6 +604,11 @@ func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Repor
 					_, err := hostEng.BuildInner(pl, si)
 					bsp.End()
 					if err != nil {
+						// Close the device root span before abandoning the
+						// attempt: leaving it open corrupts the per-timeline
+						// span stack for the fault-injection retry that
+						// replays this command on the same trace.
+						devRoot.End()
 						return nil, dev.TL.Now(), err
 					}
 				}

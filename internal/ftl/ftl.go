@@ -311,11 +311,15 @@ func CalibrateBlockOverhead(geo Geometry, mapCacheBytes int64, seed int64) (Cali
 		if rng.Intn(10) < 7 {
 			start := rng.Intn(fill)
 			for j := 0; j < 64 && i < reads; j++ {
-				f.Read(int32((start + j) % fill))
+				if _, _, err := f.Read(int32((start + j) % fill)); err != nil {
+					return CalibrationResult{}, err
+				}
 				i++
 			}
 		} else {
-			f.Read(int32(rng.Intn(fill)))
+			if _, _, err := f.Read(int32(rng.Intn(fill))); err != nil {
+				return CalibrationResult{}, err
+			}
 			i++
 		}
 	}

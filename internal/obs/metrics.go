@@ -290,6 +290,7 @@ func (r *Registry) Dump() string {
 		return ""
 	}
 	var b strings.Builder
+	//lint:allow errsink writes to a strings.Builder cannot fail
 	_, _ = r.WriteTo(&b)
 	return b.String()
 }
