@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json serve trace-smoke chaos fleet-smoke
+.PHONY: all build vet lint test race bench bench-json serve serve-smoke trace-smoke chaos fleet-smoke
 
 all: build vet lint test
 
@@ -32,17 +32,23 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
 
 # Wall-clock perf trajectory: snapshot ns/op, B/op, allocs/op of the hot-path
-# microbenchmarks, the full JOB sweep and the fleet scale-out sweep into
-# BENCH_PR6.json (diffable across PRs; non-gating CI artifact). The exec
-# microbenchmarks run 5 iterations for stable allocs/op; the sweeps run once —
-# they are the wall-clock headline.
+# microbenchmarks, the full JOB sweep, the fleet scale-out sweep and the
+# open-loop serving loop into BENCH_PR8.json (diffable across PRs; non-gating
+# CI artifact). The exec microbenchmarks run 5 iterations for stable
+# allocs/op; the sweeps run once — they are the wall-clock headline.
 bench-json:
 	( $(GO) test -run '^$$' -bench 'ScanFilter|HashJoin|JoinStep|GroupAggregate' -benchmem -benchtime=5x ./internal/exec/ ; \
-	  $(GO) test -run '^$$' -bench 'Fig12JOBSweep|FleetSweep' -benchmem -benchtime=1x -timeout 30m . ) | $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+	  $(GO) test -run '^$$' -bench 'Fig12JOBSweep|FleetSweep|ServeOpenLoop' -benchmem -benchtime=1x -timeout 30m . ) | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 # The serving sweep: policy × concurrency throughput table.
 serve:
 	$(GO) run ./cmd/hybridserve -sweep
+
+# Serving front-door gate: the open-loop SLO sweep must run two tenants
+# end-to-end (SQL sessions → plan cache → quotas → WFQ → lanes) with zero
+# errors and a non-empty table; hybridserve exits non-zero otherwise.
+serve-smoke:
+	$(GO) run ./cmd/hybridserve -scale 0.01 -tenants 2 -arrival poisson:100 -slo 10ms -horizon 300ms >/dev/null
 
 # Observability smoke: trace one hybrid JOB query (single buffer slot so the
 # device's back-pressure stall is visible) and validate the Chrome trace.

@@ -26,6 +26,8 @@ import (
 	"hybridndp/internal/job"
 	"hybridndp/internal/obs"
 	"hybridndp/internal/sched"
+	"hybridndp/internal/serve"
+	"hybridndp/internal/vclock"
 )
 
 var (
@@ -640,6 +642,48 @@ func BenchmarkAblationLeanFactor(b *testing.B) {
 				if i == 0 {
 					report(b, "ndp", ndp.Elapsed.Milliseconds())
 					report(b, "host", host.Elapsed.Milliseconds())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServeOpenLoop prices the serving front door: the cost table is
+// measured once, then each policy plays the identical calibrated-overload
+// open-loop multi-tenant stream through sessions, the shared plan cache,
+// quotas and weighted fair queuing. Virtual throughput and the aggregate
+// SLO-miss rate are the headline metrics; wall ns/op prices the event loop.
+func BenchmarkServeOpenLoop(b *testing.B) {
+	h := benchHarness(b)
+	ct, err := serve.Measure(h.DS, job.Queries(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rate := 1.25 * ct.HostCapacityQPS(h.DS.Model.HostCores) / 3
+	for _, pol := range []sched.Policy{sched.ForceHost, sched.ForceNDP, sched.Adaptive} {
+		b.Run("policy="+pol.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				srv, err := serve.New(h.DS, ct, serve.Config{
+					Tenants: serve.DefaultTenants(3, 10*vclock.Millisecond),
+					Arrival: serve.ArrivalSpec{Kind: "poisson", Rate: rate},
+					Policy:  pol,
+					Horizon: vclock.Second,
+					Seed:    1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := srv.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed == 0 {
+					b.Fatalf("%v completed nothing", pol)
+				}
+				if i == 0 {
+					b.ReportMetric(res.ThroughputQPS, "qps")
+					b.ReportMetric(100*harness.MissRate(res), "miss%")
 				}
 			}
 		})

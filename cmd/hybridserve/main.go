@@ -9,6 +9,16 @@
 //	hybridserve -policy ndp -workers 4       # always-NDP, 4 workers
 //	hybridserve -sweep                       # policy × concurrency table
 //	hybridserve -devices 4 -repeat 5         # bigger fleet, longer mix
+//
+// Open-loop SLO mode (the serving front door: SQL sessions, shared plan
+// cache, per-tenant quotas and weighted fair queuing) — active whenever
+// -tenants, -arrival or -slo is given. It plays the identical arrival stream
+// through force-host, force-ndp and adaptive placement and prints the
+// per-tenant p50/p95/p99 and SLO-miss table:
+//
+//	hybridserve -tenants 3 -arrival poisson:200 -slo 10ms
+//	hybridserve -tenants gold:4:150:5,bronze:1:50:20 -arrival burst:80:50:0.2:5
+//	hybridserve -tenants 3 -slo 10ms -metrics   # plus per-policy registry dumps
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -25,6 +36,8 @@ import (
 	"hybridndp/internal/hw"
 	"hybridndp/internal/obs"
 	"hybridndp/internal/sched"
+	"hybridndp/internal/serve"
+	"hybridndp/internal/vclock"
 )
 
 func main() {
@@ -45,6 +58,15 @@ func main() {
 			"fault-injection spec (see jobbench -faults): serve the mix with device faults injected; recovery retries, host fallback and circuit breaking keep queries answering")
 		fleetSpec = flag.String("fleet", "",
 			"serve through sharded fleet scatter-gather execution with this partitioning spec (range | stripe | stripe:<n>); shard admission shares the scheduler's ledger and breakers, and -devices sets the fleet size")
+		tenantsF = flag.String("tenants", "",
+			"open-loop SLO mode: tenant count, or comma-separated name:weight[:qps[:slo_ms]] specs (qps = offered rate; omitted fields default)")
+		arrivalF = flag.String("arrival", "",
+			"open-loop arrival process: poisson[:qps] | burst:<qps>:<period_ms>:<duty>:<mult> | trace:<ms>,<ms>,... (activates open-loop SLO mode)")
+		sloF = flag.Duration("slo", 0,
+			"default per-tenant latency objective for open-loop SLO mode (virtual time; 0 = 10ms for count-form tenants)")
+		horizonF = flag.Duration("horizon", time.Second,
+			"open-loop arrival window in virtual time")
+		seedF = flag.Int64("seed", 1, "open-loop arrival/selection seed")
 	)
 	flag.Parse()
 
@@ -68,6 +90,14 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *tenantsF != "" || *arrivalF != "" || *sloF != 0 {
+		if err := openLoop(h, *tenantsF, *arrivalF, *sloF, *horizonF, *seedF, *workers, *queue, *metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwall time %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
 
 	if *faults != "" {
 		p, err := fault.Parse(*faults)
@@ -155,6 +185,97 @@ func main() {
 	if st.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// openLoop runs the serving-front-door experiment: the SLO sweep over the
+// three policies with the identical arrival stream, printing the per-tenant
+// tail-latency table (and, with -metrics, each policy's registry dump).
+func openLoop(h *harness.H, tenantsSpec, arrivalSpec string, slo, horizon time.Duration, seed int64, workers, queue int, metrics bool) error {
+	defSLO := vclock.FromStd(slo)
+	if defSLO <= 0 {
+		defSLO = 10 * vclock.Millisecond
+	}
+	tenants, err := parseTenants(tenantsSpec, defSLO)
+	if err != nil {
+		return err
+	}
+	opt := harness.SLOOptions{
+		Tenants:    tenants,
+		Horizon:    vclock.FromStd(horizon),
+		Seed:       seed,
+		Workers:    workers,
+		QueueDepth: queue,
+	}
+	if arrivalSpec != "" {
+		spec, err := serve.ParseArrival(arrivalSpec)
+		if err != nil {
+			return err
+		}
+		opt.Arrival = spec
+	}
+	rep, err := h.SLOSweep(os.Stdout, opt)
+	if err != nil {
+		return err
+	}
+	if rep.RatePerTenant > 0 {
+		fmt.Printf("calibrated offered load: %.2f q/s per tenant (%.2f×%d over host capacity)\n",
+			rep.RatePerTenant, 1.25, len(rep.Results[0].Tenants))
+	}
+	if metrics {
+		for i, res := range rep.Results {
+			fmt.Printf("\nmetrics (%s)\n--------\n%s", res.Policy, rep.Dumps[i])
+		}
+	}
+	var completed int
+	for _, res := range rep.Results {
+		completed += res.Completed
+	}
+	if len(rep.Results) == 0 || completed == 0 {
+		return fmt.Errorf("open-loop sweep completed no requests (empty table)")
+	}
+	return nil
+}
+
+// parseTenants accepts either a tenant count ("3") or comma-separated
+// name:weight[:qps[:slo_ms]] specs.
+func parseTenants(s string, defSLO vclock.Duration) ([]serve.TenantConfig, error) {
+	if s == "" {
+		s = "3"
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		if n < 1 || n > 64 {
+			return nil, fmt.Errorf("tenant count %d out of range [1,64]", n)
+		}
+		return serve.DefaultTenants(n, defSLO), nil
+	}
+	var out []serve.TenantConfig
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(part, ":")
+		if len(fields) < 2 || len(fields) > 4 || fields[0] == "" {
+			return nil, fmt.Errorf("tenant spec %q: want name:weight[:qps[:slo_ms]]", part)
+		}
+		weight, err := strconv.Atoi(fields[1])
+		if err != nil || weight < 1 {
+			return nil, fmt.Errorf("tenant spec %q: bad weight %q", part, fields[1])
+		}
+		tc := serve.TenantConfig{Name: fields[0], Weight: weight, SLO: defSLO, Skew: 1.3}
+		if len(fields) >= 3 {
+			qps, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || qps < 0 {
+				return nil, fmt.Errorf("tenant spec %q: bad qps %q", part, fields[2])
+			}
+			tc.RateQPS = qps
+		}
+		if len(fields) == 4 {
+			ms, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil || ms <= 0 {
+				return nil, fmt.Errorf("tenant spec %q: bad slo_ms %q", part, fields[3])
+			}
+			tc.SLO = vclock.Duration(ms) * vclock.Millisecond
+		}
+		out = append(out, tc)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -44,7 +44,7 @@ import (
 
 // SimPackages mirrors wallclock's list: the packages whose I/O must be
 // accounted (duplicated here so the analyzer stays self-contained).
-var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet"}
+var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet", "serve"}
 
 // ChargesFact marks a function that charges a vclock.Timeline: on at least
 // one path (weak form), or on every terminating path (Always).

@@ -32,7 +32,7 @@ import (
 )
 
 // SimPackages mirrors wallclock's list.
-var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet"}
+var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet", "serve"}
 
 // Analyzer is the detsched check.
 var Analyzer = &analysis.Analyzer{

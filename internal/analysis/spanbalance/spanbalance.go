@@ -39,7 +39,7 @@ import (
 )
 
 // SimPackages mirrors wallclock's list; spans only exist in simulation code.
-var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet"}
+var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet", "serve"}
 
 // Analyzer is the spanbalance check.
 var Analyzer = &analysis.Analyzer{

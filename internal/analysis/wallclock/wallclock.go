@@ -21,7 +21,7 @@ import (
 
 // SimPackages are the packages whose code must be wall-clock free. Matching
 // is by final import-path segment (see analysis.Run).
-var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet"}
+var SimPackages = []string{"vclock", "coop", "exec", "ftl", "lsm", "flash", "sched", "device", "hw", "obs", "fault", "fleet", "serve"}
 
 // bannedTime are the time package functions that observe or consume wall time.
 var bannedTime = map[string]string{

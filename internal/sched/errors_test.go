@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hybridndp/internal/clock"
+	"hybridndp/internal/job"
+)
+
+// TestAdmissionErrorContract pins the typed admission errors callers key on:
+// TrySubmit distinguishes queue-full from closed, and an in-queue expiry
+// surfaces as ErrExpired on the outcome (errors.Is through wrapping).
+func TestAdmissionErrorContract(t *testing.T) {
+	opt, exec, m := fixture(t)
+	q := job.Queries()[0]
+
+	// Queue-full: one worker, depth 1, workers blocked by queued load.
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	s := New(opt, exec, m, cfg)
+	var sawFull bool
+	for i := 0; i < 50 && !sawFull; i++ {
+		if _, err := s.TrySubmit(q, Normal); err != nil {
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("TrySubmit error = %v, want ErrQueueFull", err)
+			}
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("never saw ErrQueueFull with depth-1 queue")
+	}
+	s.Close()
+	if _, err := s.TrySubmit(q, Normal); !errors.Is(err, ErrClosed) {
+		t.Fatalf("TrySubmit after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Submit(context.Background(), q, Normal); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+
+	// Expiry: a fake clock jumps past QueryTimeout while the ticket queues.
+	fc := clock.NewFake()
+	cfg = DefaultConfig()
+	cfg.Workers = 1
+	cfg.Clock = fc
+	cfg.QueryTimeout = time.Millisecond
+	s2 := New(opt, exec, m, cfg)
+	// Stack up tickets, then advance the clock so queued ones expire.
+	tickets := make([]*Ticket, 0, 8)
+	for i := 0; i < 8; i++ {
+		tk, err := s2.Submit(context.Background(), q, Normal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	fc.Advance(time.Second)
+	s2.Close()
+	var sawExpired bool
+	for _, tk := range tickets {
+		o := tk.Outcome()
+		if o == nil {
+			t.Fatal("ticket unresolved after Close")
+		}
+		if o.Err != nil {
+			if !errors.Is(o.Err, ErrExpired) {
+				t.Fatalf("outcome err = %v, want ErrExpired", o.Err)
+			}
+			sawExpired = true
+		}
+	}
+	if !sawExpired {
+		t.Fatal("no ticket expired despite clock jump past QueryTimeout")
+	}
+
+	// Cancelled context while queued also reads as ErrExpired.
+	cfg = DefaultConfig()
+	cfg.Workers = 1
+	s3 := New(opt, exec, m, cfg)
+	defer s3.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tk, err := s3.Submit(ctx, q, Normal)
+	if err != nil {
+		// Submit itself may observe the cancelled context first; that path
+		// returns the context error, not ErrExpired.
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Submit with cancelled ctx = %v", err)
+		}
+		return
+	}
+	o, werr := tk.Wait(context.Background())
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if o.Err != nil && !errors.Is(o.Err, ErrExpired) {
+		t.Fatalf("outcome err = %v, want ErrExpired", o.Err)
+	}
+}

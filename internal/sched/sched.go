@@ -139,10 +139,26 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Scheduler errors.
+// Scheduler errors. Admission can fail for exactly three reasons, each with
+// its own sentinel so callers can tell backpressure from shutdown from
+// expiry (errors.Is works through any wrapping):
+//
+//   - ErrClosed: the scheduler stopped intake (returned by Submit/TrySubmit).
+//   - ErrQueueFull: the bounded admission queue is at QueueDepth (returned by
+//     TrySubmit only; Submit blocks instead — that is the backpressure path).
+//   - ErrExpired: the ticket was admitted but timed out or was cancelled
+//     while queued; it surfaces on the ticket's Outcome.Err, never from
+//     Submit/TrySubmit themselves.
+//
+// Per-tenant quota rejections are deliberately NOT a scheduler concern: the
+// serving layer (internal/serve) enforces token-bucket quotas before work
+// reaches this queue and reports them as serve.ErrQuotaExceeded, so a
+// caller seeing ErrQueueFull knows the shared queue — not their quota — was
+// the limit.
 var (
 	ErrClosed    = errors.New("sched: scheduler closed")
 	ErrQueueFull = errors.New("sched: admission queue full")
+	ErrExpired   = errors.New("sched: ticket expired in queue")
 )
 
 // Ticket is one submitted query's handle: it resolves to an Outcome once the
@@ -402,14 +418,14 @@ func (s *Scheduler) process(t *Ticket) {
 	if err := t.ctx.Err(); err != nil {
 		s.stats.rejected()
 		m.Counter("sched.rejected.expired").Inc()
-		base.Err = fmt.Errorf("sched: rejected in queue: %w", err)
+		base.Err = fmt.Errorf("%w: %v", ErrExpired, err)
 		t.finish(base)
 		return
 	}
 	if s.cfg.QueryTimeout > 0 && wait > s.cfg.QueryTimeout {
 		s.stats.rejected()
 		m.Counter("sched.rejected.expired").Inc()
-		base.Err = fmt.Errorf("sched: queue wait %v exceeded timeout %v", wait, s.cfg.QueryTimeout)
+		base.Err = fmt.Errorf("%w: queue wait %v exceeded timeout %v", ErrExpired, wait, s.cfg.QueryTimeout)
 		t.finish(base)
 		return
 	}

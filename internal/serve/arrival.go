@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hybridndp/internal/vclock"
+)
+
+// ArrivalSpec describes an open-loop arrival process on virtual time. Unlike
+// the closed-loop ServingMix replay, the offered load — not the completion of
+// earlier queries — decides when the next request lands, so queues can
+// actually build and tail latency means something. Three shapes:
+//
+//	poisson:<qps>                     stationary Poisson at <qps> per tenant
+//	burst:<qps>:<period_ms>:<duty>:<mult>
+//	                                  Poisson modulated by a square wave: for
+//	                                  the first <duty> fraction of each
+//	                                  <period_ms> window the rate is
+//	                                  <qps>×<mult>, otherwise <qps>
+//	trace:<ms>,<ms>,...               explicit arrival offsets in virtual ms,
+//	                                  replayed identically by every tenant
+//
+// <qps> is the default per-tenant rate; a tenant's RateQPS overrides it.
+// Generation is seeded per (seed, tenant) and burst windows are sampled with
+// the memoryless redraw-at-boundary construction, so the stream is
+// byte-deterministic for a given spec and seed.
+type ArrivalSpec struct {
+	Kind    string // "poisson", "burst" or "trace"
+	Rate    float64
+	Period  vclock.Duration
+	Duty    float64
+	Mult    float64
+	Offsets []vclock.Duration
+}
+
+// DefaultArrival is a stationary Poisson process with the rate left to the
+// tenant configuration (or calibration).
+func DefaultArrival() ArrivalSpec { return ArrivalSpec{Kind: "poisson"} }
+
+// ParseArrival parses the -arrival flag syntax described on ArrivalSpec.
+func ParseArrival(s string) (ArrivalSpec, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "poisson":
+		spec := ArrivalSpec{Kind: "poisson"}
+		if len(parts) > 2 {
+			return spec, fmt.Errorf("serve: poisson spec %q: want poisson[:qps]", s)
+		}
+		if len(parts) == 2 {
+			r, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || r < 0 {
+				return spec, fmt.Errorf("serve: bad poisson rate %q", parts[1])
+			}
+			spec.Rate = r
+		}
+		return spec, nil
+	case "burst":
+		if len(parts) != 5 {
+			return ArrivalSpec{}, fmt.Errorf("serve: burst spec %q: want burst:<qps>:<period_ms>:<duty>:<mult>", s)
+		}
+		vals := make([]float64, 4)
+		for i, p := range parts[1:] {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil || v < 0 {
+				return ArrivalSpec{}, fmt.Errorf("serve: bad burst field %q", p)
+			}
+			vals[i] = v
+		}
+		spec := ArrivalSpec{Kind: "burst", Rate: vals[0],
+			Period: vclock.Duration(vals[1]) * vclock.Millisecond, Duty: vals[2], Mult: vals[3]}
+		if spec.Period <= 0 || spec.Duty <= 0 || spec.Duty >= 1 || spec.Mult < 1 {
+			return spec, fmt.Errorf("serve: burst spec %q needs period>0, 0<duty<1, mult>=1", s)
+		}
+		return spec, nil
+	case "trace":
+		if len(parts) != 2 || parts[1] == "" {
+			return ArrivalSpec{}, fmt.Errorf("serve: trace spec %q: want trace:<ms>,<ms>,...", s)
+		}
+		var offs []vclock.Duration
+		for _, f := range strings.Split(parts[1], ",") {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil || v < 0 {
+				return ArrivalSpec{}, fmt.Errorf("serve: bad trace offset %q", f)
+			}
+			offs = append(offs, vclock.Duration(v)*vclock.Millisecond)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		return ArrivalSpec{Kind: "trace", Offsets: offs}, nil
+	}
+	return ArrivalSpec{}, fmt.Errorf("serve: unknown arrival kind %q (want poisson, burst or trace)", s)
+}
+
+// String renders the spec back in flag syntax (ParseArrival round-trips it).
+func (a ArrivalSpec) String() string {
+	switch a.Kind {
+	case "burst":
+		return fmt.Sprintf("burst:%s:%s:%s:%s", trimFloat(a.Rate),
+			trimFloat(a.Period.Milliseconds()), trimFloat(a.Duty), trimFloat(a.Mult))
+	case "trace":
+		offs := make([]string, len(a.Offsets))
+		for i, o := range a.Offsets {
+			offs[i] = trimFloat(o.Milliseconds())
+		}
+		return "trace:" + strings.Join(offs, ",")
+	default:
+		if a.Rate > 0 {
+			return "poisson:" + trimFloat(a.Rate)
+		}
+		return "poisson"
+	}
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+
+// times generates one tenant's arrival instants in [0, horizon) at the given
+// base rate (queries per virtual second) from the tenant's seeded stream.
+func (a ArrivalSpec) times(rng *rand.Rand, rate float64, horizon vclock.Duration) []vclock.Time {
+	if horizon <= 0 {
+		return nil
+	}
+	if a.Kind == "trace" {
+		var out []vclock.Time
+		for _, o := range a.Offsets {
+			if o < horizon {
+				out = append(out, vclock.Time(o))
+			}
+		}
+		return out
+	}
+	if rate <= 0 {
+		return nil
+	}
+	var out []vclock.Time
+	end := horizon.Seconds()
+	t := 0.0
+	for t < end {
+		lambda, segEnd := a.rateAt(t, rate, end)
+		gap := rng.ExpFloat64() / lambda
+		if t+gap >= segEnd {
+			// The exponential is memoryless: jumping to the window boundary
+			// and redrawing at the new rate samples the inhomogeneous process
+			// exactly.
+			if segEnd <= t {
+				// Guard against float absorption right at a window boundary:
+				// force strict progress to the next representable instant.
+				segEnd = math.Nextafter(t, math.MaxFloat64)
+			}
+			t = segEnd
+			continue
+		}
+		t += gap
+		out = append(out, vclock.Time(t*float64(vclock.Second)))
+	}
+	return out
+}
+
+// rateAt reports the instantaneous rate at time t (seconds) and the end of
+// the constant-rate window containing t. Window boundaries are derived from
+// the window index, not from t itself — subtracting the phase from t and
+// adding it back loses the boundary to float absorption when t sits just
+// below it.
+func (a ArrivalSpec) rateAt(t, base, end float64) (lambda, segEnd float64) {
+	if a.Kind != "burst" {
+		return base, end
+	}
+	period := a.Period.Seconds()
+	k := math.Floor(t / period)
+	onEnd := k*period + a.Duty*period
+	if t < onEnd {
+		return base * a.Mult, minF(end, onEnd)
+	}
+	return base, minF(end, (k+1)*period)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// tenantSeed derives one tenant's private PRNG seed from the run seed by an
+// FNV-1a style mix, so adding a tenant never perturbs the others' streams.
+func tenantSeed(seed int64, tenant int) int64 {
+	h := uint64(1469598103934665603)
+	for _, v := range []uint64{uint64(seed), uint64(tenant) + 0x9e3779b97f4a7c15} {
+		h ^= v
+		h *= 1099511628211
+	}
+	return int64(h >> 1)
+}

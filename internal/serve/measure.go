@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hybridndp/internal/coop"
+	"hybridndp/internal/device"
+	"hybridndp/internal/job"
+	"hybridndp/internal/optimizer"
+	"hybridndp/internal/query"
+	"hybridndp/internal/vclock"
+)
+
+// QueryCost is one workload query's measured virtual service times, the
+// inputs to open-loop placement. Every distinct (query, strategy) pair runs
+// exactly once for real through the cooperative executor; the serving loop
+// then replays the memoized durations. That memoization is exact, not an
+// approximation: executions use fresh per-run engines and virtual timelines,
+// so a query's elapsed under a strategy is a constant of the dataset seed
+// (the same property the parallel sweep runner rests on).
+type QueryCost struct {
+	Decision *optimizer.Decision
+	Decided  coop.Strategy
+	// Host is the host-native elapsed time (always available — the fallback
+	// lane of every policy, and the canonical DRR work unit).
+	Host vclock.Duration
+	// Dec is the decided strategy's elapsed (equal to Host when the decision
+	// is host-native).
+	Dec vclock.Duration
+	// NDP is the full-NDP elapsed when the whole plan fits device memory.
+	NDP         vclock.Duration
+	NDPFeasible bool
+}
+
+// CostTable holds measured costs for a whole workload, shareable across
+// servers (the SLO sweep measures once and serves three policies from it).
+type CostTable struct {
+	byName   map[string]*QueryCost
+	names    []string
+	meanHost vclock.Duration
+}
+
+// Cost returns one query's measured costs.
+func (ct *CostTable) Cost(name string) (*QueryCost, bool) {
+	qc, ok := ct.byName[name]
+	return qc, ok
+}
+
+// MeanHostNs reports the unweighted mean host-native service time.
+func (ct *CostTable) MeanHost() vclock.Duration { return ct.meanHost }
+
+// HostCapacityQPS estimates the host-only saturation throughput for `lanes`
+// host lanes under a uniform query mix — the calibration anchor for overload
+// scenarios (offered load above this rate must queue under force-host).
+func (ct *CostTable) HostCapacityQPS(lanes int) float64 {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if ct.meanHost <= 0 {
+		return 0
+	}
+	return float64(lanes) / ct.meanHost.Seconds()
+}
+
+// Measure runs the workload's cost measurement: per query, the optimizer's
+// decision plus real executions of the host-native path, the decided split
+// and (when the plan fits device memory) full NDP. workers bounds wall-clock
+// parallelism only — each (query, strategy) execution is independently
+// deterministic, and results land in pre-sized per-index slots, so the table
+// is byte-identical for any worker count.
+func Measure(ds *job.Dataset, queries []*query.Query, workers int) (*CostTable, error) {
+	opt := optimizer.New(ds.Cat, ds.Model)
+	// A private executor: no metrics registry is attached, so parallel
+	// measurement cannot interleave writes into the serving registry.
+	ex := coop.NewExecutor(ds.Cat, ds.DB, ds.Model)
+	costs := make([]*QueryCost, len(queries))
+	errs := make([]error, len(queries))
+	forEach(workers, len(queries), func(i int) {
+		costs[i], errs[i] = measureOne(opt, ex, ds, queries[i])
+	})
+	ct := &CostTable{byName: make(map[string]*QueryCost, len(queries))}
+	var sum vclock.Duration
+	for i, q := range queries {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("serve: measure %s: %w", q.Name, errs[i])
+		}
+		if _, dup := ct.byName[q.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate workload query name %s", q.Name)
+		}
+		ct.byName[q.Name] = costs[i]
+		ct.names = append(ct.names, q.Name)
+		sum += costs[i].Host
+	}
+	if len(queries) > 0 {
+		ct.meanHost = sum / vclock.Duration(len(queries))
+	}
+	return ct, nil
+}
+
+func measureOne(opt *optimizer.Optimizer, ex *coop.Executor, ds *job.Dataset, q *query.Query) (*QueryCost, error) {
+	d, err := opt.Decide(q)
+	if err != nil {
+		return nil, err
+	}
+	qc := &QueryCost{Decision: d, Decided: decidedStrategy(d)}
+	hostRep, err := ex.Run(d.Plan, coop.Strategy{Kind: coop.HostNative})
+	if err != nil {
+		return nil, err
+	}
+	qc.Host = hostRep.Elapsed
+	if device.PlanMemory(ds.Model, d.Plan, len(d.Plan.Steps)).Fits() {
+		rep, err := ex.Run(d.Plan, coop.Strategy{Kind: coop.NDPOnly})
+		if err != nil {
+			return nil, err
+		}
+		qc.NDP = rep.Elapsed
+		qc.NDPFeasible = true
+	}
+	switch qc.Decided.Kind {
+	case coop.HostNative:
+		qc.Dec = qc.Host
+	case coop.NDPOnly:
+		if !qc.NDPFeasible {
+			return nil, fmt.Errorf("serve: decision picked NDP for %s but the plan does not fit device memory", q.Name)
+		}
+		qc.Dec = qc.NDP
+	default: // hybrid
+		rep, err := ex.Run(d.Plan, qc.Decided)
+		if err != nil {
+			return nil, err
+		}
+		qc.Dec = rep.Elapsed
+	}
+	return qc, nil
+}
+
+// decidedStrategy maps the optimizer's decision to an execution strategy
+// (mirrors the scheduler's mapping, including H0 → leaf-broadcast split -1).
+func decidedStrategy(d *optimizer.Decision) coop.Strategy {
+	switch {
+	case d.Hybrid:
+		split := d.Split
+		if split == 0 {
+			split = -1
+		}
+		return coop.Strategy{Kind: coop.Hybrid, Split: split}
+	case d.NDP:
+		return coop.Strategy{Kind: coop.NDPOnly}
+	default:
+		return coop.Strategy{Kind: coop.HostNative}
+	}
+}
+
+// forEach runs fn(0..n-1) across min(workers, n) goroutines, inline when
+// sequential. Indexes are claimed atomically and callers write disjoint
+// pre-sized slots — the deterministic fan-in idiom (no append, no channels).
+func forEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

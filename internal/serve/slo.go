@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"math"
+
+	"hybridndp/internal/obs"
+	"hybridndp/internal/vclock"
+)
+
+// LatencyBuckets is the fixed-bound ladder for request latency histograms:
+// 64 geometric buckets from 1µs, ratio 10^(1/8) (~1.33×, eight buckets per
+// decade), reaching ~80 virtual seconds. Fixed bounds keep the metrics dump
+// byte-stable and make quantile estimates a deterministic function of the
+// bucket counts alone.
+var LatencyBuckets = makeLatencyBuckets()
+
+func makeLatencyBuckets() []float64 {
+	out := make([]float64, 64)
+	ratio := math.Pow(10, 0.125)
+	v := 1e3
+	for i := range out {
+		out[i] = math.Round(v)
+		v *= ratio
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) of a fixed-bound histogram
+// as the upper bound of the first bucket whose cumulative count reaches
+// q×total — a conservative (never-underestimating) deterministic estimate.
+// Samples in the +Inf overflow bucket report +Inf. Zero observations report
+// zero.
+func Quantile(h *obs.Histogram, q float64) vclock.Duration {
+	bounds, counts := h.Buckets()
+	if len(counts) == 0 {
+		return 0
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i < len(bounds) {
+				return vclock.Duration(bounds[i])
+			}
+			return vclock.Duration(math.Inf(1))
+		}
+	}
+	return vclock.Duration(math.Inf(1))
+}

@@ -19,16 +19,23 @@ import (
 //	[GROUP BY column {, column}] [;]
 //
 //	select_item := * | alias.column | AGG(alias.column) | COUNT(*)
-//	condition   := alias.col = alias.col          (join condition)
+//	condition   := atom | ( or_expr )
+//	or_expr     := and_expr {OR and_expr}        (single-table)
+//	and_expr    := primary {AND primary}
+//	primary     := atom | ( or_expr )
+//	atom        := alias.col = alias.col          (join condition)
 //	             | alias.col op literal           (op: = <> != < <= > >=)
 //	             | alias.col [NOT] LIKE 'pattern'
 //	             | alias.col IS [NOT] NULL
 //	             | alias.col BETWEEN n AND n
 //	             | alias.col IN ( literal {, literal} )
-//	             | ( condition {OR condition} )   (single-table disjunction)
 //
-// WHERE is a conjunction at the top level, exactly the JOB shape; OR is
-// allowed inside parentheses over one table's columns.
+// WHERE is a conjunction at the top level, exactly the JOB shape; inside
+// parentheses, arbitrarily nested AND/OR groups are allowed as long as every
+// atom references the same table alias (AND binds tighter than OR). Join
+// conditions may only appear as bare top-level conjuncts. Parenthesized
+// groups preserve their boolean structure exactly — parse(Render(q)) rebuilds
+// the same expr tree — which the serving plan cache relies on.
 func Parse(input string) (*query.Query, error) {
 	toks, err := lex(input)
 	if err != nil {
@@ -227,8 +234,8 @@ func (p *parser) optionalAlias(def string) string {
 // as either a join condition or a single-table filter.
 func (p *parser) parseCondition(q *query.Query) error {
 	if p.acceptSymbol("(") {
-		// Parenthesized OR group over one table.
-		pred, alias, err := p.parseOrGroup()
+		// Parenthesized boolean group over one table.
+		pred, alias, err := p.parseOrExpr()
 		if err != nil {
 			return err
 		}
@@ -241,33 +248,74 @@ func (p *parser) parseCondition(q *query.Query) error {
 	return p.parseSimpleCondition(q)
 }
 
-// parseOrGroup parses cond {OR cond} where every condition references the
-// same alias; returns the combined predicate.
-func (p *parser) parseOrGroup() (expr.Pred, string, error) {
-	var preds []expr.Pred
-	var alias string
-	for {
-		pred, a, isJoin, _, err := p.parseAtom()
+// parseOrExpr parses and_expr {OR and_expr} where every atom references the
+// same alias. Two or more operands build an expr.Or; a single operand passes
+// through unchanged, so the boolean tree mirrors the source parenthesization.
+func (p *parser) parseOrExpr() (expr.Pred, string, error) {
+	pred, alias, err := p.parseAndExpr()
+	if err != nil {
+		return nil, "", err
+	}
+	preds := []expr.Pred{pred}
+	for p.acceptKeyword("OR") {
+		next, a, err := p.parseAndExpr()
 		if err != nil {
 			return nil, "", err
 		}
-		if isJoin {
-			return nil, "", fmt.Errorf("sql: join conditions cannot appear inside OR groups")
-		}
-		if alias == "" {
-			alias = a
-		} else if alias != a {
+		if a != alias {
 			return nil, "", fmt.Errorf("sql: OR group mixes tables %s and %s", alias, a)
 		}
-		preds = append(preds, pred)
-		if !p.acceptKeyword("OR") {
-			break
-		}
+		preds = append(preds, next)
 	}
 	if len(preds) == 1 {
 		return preds[0], alias, nil
 	}
 	return expr.Or{Preds: preds}, alias, nil
+}
+
+// parseAndExpr parses primary {AND primary} over one alias.
+func (p *parser) parseAndExpr() (expr.Pred, string, error) {
+	pred, alias, err := p.parsePrimary()
+	if err != nil {
+		return nil, "", err
+	}
+	preds := []expr.Pred{pred}
+	for p.acceptKeyword("AND") {
+		next, a, err := p.parsePrimary()
+		if err != nil {
+			return nil, "", err
+		}
+		if a != alias {
+			return nil, "", fmt.Errorf("sql: AND group mixes tables %s and %s", alias, a)
+		}
+		preds = append(preds, next)
+	}
+	if len(preds) == 1 {
+		return preds[0], alias, nil
+	}
+	return expr.And{Preds: preds}, alias, nil
+}
+
+// parsePrimary parses a nested parenthesized group or a single atom.
+func (p *parser) parsePrimary() (expr.Pred, string, error) {
+	if p.acceptSymbol("(") {
+		pred, alias, err := p.parseOrExpr()
+		if err != nil {
+			return nil, "", err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, "", err
+		}
+		return pred, alias, nil
+	}
+	pred, alias, isJoin, _, err := p.parseAtom()
+	if err != nil {
+		return nil, "", err
+	}
+	if isJoin {
+		return nil, "", fmt.Errorf("sql: join conditions cannot appear inside boolean groups")
+	}
+	return pred, alias, nil
 }
 
 func (p *parser) parseSimpleCondition(q *query.Query) error {
