@@ -1,0 +1,147 @@
+// Command benchdiff prints the wall-clock perf delta between two BENCH_PR
+// snapshots produced by `make bench-json`: per benchmark, old vs new ns/op
+// and the relative change, plus B/op and allocs/op movement. It is the
+// non-gating CI step that makes the perf trajectory visible on every PR.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json    # explicit snapshots
+//	benchdiff                      # auto: diff the two newest BENCH_PR*.json
+//	                               # in the current directory (by PR number)
+//
+// With fewer than two snapshots available, auto mode prints a notice and
+// exits 0 — the first PR that ships an artifact has nothing to diff against.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Entry mirrors cmd/benchjson's artifact schema.
+type Entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]Entry
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+var prName = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestTwo picks the two highest-numbered BENCH_PR*.json in dir.
+func latestTwo(dir string) (old, new string, err error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	type snap struct {
+		n    int
+		path string
+	}
+	var snaps []snap
+	for _, p := range matches {
+		m := prName.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snap{n, p})
+	}
+	if len(snaps) < 2 {
+		return "", "", nil
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
+	return snaps[len(snaps)-2].path, snaps[len(snaps)-1].path, nil
+}
+
+func pct(oldV, newV float64) string {
+	if oldV == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (newV-oldV)/oldV*100)
+}
+
+func main() {
+	flag.Parse()
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = latestTwo(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		if oldPath == "" {
+			fmt.Println("benchdiff: fewer than two BENCH_PR*.json snapshots, nothing to diff")
+			return
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [OLD.json NEW.json]")
+		os.Exit(2)
+	}
+
+	oldM, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	newM, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(newM))
+	for n := range newM {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%s -> %s\n", oldPath, newPath)
+	fmt.Printf("%-34s %14s %14s %9s %9s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "ns/op", "B/op", "allocs")
+	for _, n := range names {
+		ne := newM[n]
+		oe, ok := oldM[n]
+		if !ok {
+			fmt.Printf("%-34s %14s %14.0f %9s %9s %9s\n", n, "(new)", ne.NsPerOp, "-", "-", "-")
+			continue
+		}
+		fmt.Printf("%-34s %14.0f %14.0f %9s %9s %9s\n", n, oe.NsPerOp, ne.NsPerOp,
+			pct(oe.NsPerOp, ne.NsPerOp), pct(oe.BytesPerOp, ne.BytesPerOp),
+			pct(oe.AllocsPerOp, ne.AllocsPerOp))
+	}
+	removed := make([]string, 0, len(oldM))
+	for n := range oldM {
+		if _, ok := newM[n]; !ok {
+			removed = append(removed, n)
+		}
+	}
+	sort.Strings(removed)
+	for _, n := range removed {
+		fmt.Printf("%-34s (removed)\n", n)
+	}
+}

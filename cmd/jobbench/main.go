@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -48,8 +50,44 @@ func main() {
 			"comma list of fleet sizes (e.g. 1,2,4,8): run the fleet scale-out sweep — every JOB query scatter-gathered over each fleet size, fingerprint-verified against a single-device baseline — then exit (non-zero on any mismatch)")
 		fleetSpec = flag.String("fleet", "range",
 			"fleet partitioning spec for -devices: range | stripe | stripe:<n>")
+		batchN = flag.Int("batch", 0,
+			"columnar batch row capacity for every engine (0 = default 1024); virtual-time results are byte-identical at any value — the knob only trades wall-clock locality against scratch memory")
+		cpuprofile = flag.String("cpuprofile", "",
+			"write a wall-clock CPU profile of the run to this file (written on clean exit)")
+		memprofile = flag.String("memprofile", "",
+			"write a heap profile to this file at clean exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "jobbench:", err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jobbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "jobbench:", err)
+			}
+		}()
+	}
 
 	var faultPlan *fault.Plan
 	if *faults != "" {
@@ -104,6 +142,7 @@ func main() {
 		if *metrics {
 			h.BindMetrics(obs.NewRegistry())
 		}
+		h.SetBatchSize(*batchN)
 		h.Exec.Faults = faultPlan
 		tr, err := h.TraceQuery(name, strat)
 		if err != nil {
@@ -140,6 +179,7 @@ func main() {
 			os.Exit(1)
 		}
 		h.Workers = *workers
+		h.SetBatchSize(*batchN)
 		var reg *obs.Registry
 		if *metrics {
 			reg = h.BindMetrics(obs.NewRegistry())
@@ -174,6 +214,7 @@ func main() {
 			os.Exit(1)
 		}
 		h.Workers = *workers
+		h.SetBatchSize(*batchN)
 		res, err := h.FleetSweep(os.Stdout, counts, *fleetSpec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jobbench:", err)
@@ -193,6 +234,7 @@ func main() {
 			os.Exit(1)
 		}
 		h.Workers = *workers
+		h.SetBatchSize(*batchN)
 		if err := h.Plans(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "jobbench:", err)
 			os.Exit(1)
@@ -207,6 +249,7 @@ func main() {
 	}
 	fmt.Printf("loaded in %v (%d tables)\n", time.Since(start).Round(time.Millisecond), len(h.DS.Cat.Tables()))
 	h.Workers = *workers
+	h.SetBatchSize(*batchN)
 	if *metrics {
 		h.BindMetrics(obs.NewRegistry())
 	}

@@ -18,6 +18,7 @@ import (
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/lsm"
+	"hybridndp/internal/num"
 	"hybridndp/internal/obs"
 	"hybridndp/internal/table"
 	"hybridndp/internal/vclock"
@@ -162,6 +163,11 @@ type Executor struct {
 	// MaxRetries caps device-command retries before host-only fallback
 	// (0 = default of 2, negative = no retries).
 	MaxRetries int
+	// BatchSize sets the row capacity of the columnar batches the engines
+	// this executor builds process at a time (0 = exec.DefaultBatchSize).
+	// Virtual-time charges are byte-identical for every value; the knob only
+	// trades wall-clock locality against scratch memory.
+	BatchSize int
 }
 
 // maxRetries resolves the retry cap.
@@ -246,7 +252,7 @@ func (x *Executor) recordRun(r *Report) {
 	if m == nil {
 		return
 	}
-	m.Counter("coop.runs."+r.Strategy.Kind.String()).Inc()
+	m.Counter("coop.runs." + r.Strategy.Kind.String()).Inc()
 	m.Histogram("coop.elapsed.ns", obs.DefaultDurationBuckets).Observe(float64(r.Elapsed))
 	if r.Batches > 0 {
 		m.Counter("coop.batches").Add(int64(r.Batches))
@@ -298,7 +304,7 @@ func (x *Executor) instrument(eng *exec.Engine) *exec.Engine {
 // crosses the interconnect as part of the host flash path.
 func (x *Executor) runHostOnly(p *exec.Plan, s Strategy, rates hw.Rates, tr *obs.Trace) (*Report, error) {
 	tl := vclock.NewTimeline("host")
-	eng := x.instrument(&exec.Engine{Cat: x.Cat, TL: tl, R: rates, Cache: x.hostCache()})
+	eng := x.instrument(&exec.Engine{Cat: x.Cat, TL: tl, R: rates, Cache: x.hostCache(), BatchSize: x.BatchSize})
 	root := tr.Start(tl, "query:"+p.Query.Name).Attr("strategy", s.String())
 	res, err := eng.RunPlan(p)
 	root.End()
@@ -416,7 +422,7 @@ func (x *Executor) fallbackHost(p *exec.Plan, s Strategy, tr *obs.Trace,
 	}
 	fsp := tr.Start(hostTL, "coop.fallback.host").Attr("cause", cause.Error())
 	hostTL.WaitUntil(devNow, hw.CatFaultWait)
-	eng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hw.HostRates(x.Model), Cache: x.hostCache()})
+	eng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hw.HostRates(x.Model), Cache: x.hostCache(), BatchSize: x.BatchSize})
 	res, err := eng.RunPlan(p)
 	fsp.End()
 	if err != nil {
@@ -452,6 +458,7 @@ func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report,
 
 	return x.withRecovery(p, s, tr, hostTL, func() (*Report, vclock.Time, error) {
 		dev := device.New(x.Model, x.Cat)
+		dev.BatchSize = x.BatchSize
 		dev.Trace = tr
 		dev.Metrics = x.Metrics
 		dev.Faults = inj
@@ -556,6 +563,7 @@ func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Repor
 	// intact): the H0 rewrite only makes sense with device-seeded inners.
 	return x.withRecovery(orig, s, tr, hostTL, func() (*Report, vclock.Time, error) {
 		dev := device.New(x.Model, x.Cat)
+		dev.BatchSize = x.BatchSize
 		dev.Trace = tr
 		dev.Metrics = x.Metrics
 		dev.Faults = inj
@@ -567,7 +575,7 @@ func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Repor
 		x.applyCacheFormat(devEng)
 		devEng.Views = snapshotViews(snap)
 
-		hostEng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()})
+		hostEng := x.instrument(&exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache(), BatchSize: x.BatchSize})
 
 		// The two engines share one pipeline: the device owns the inner state
 		// of its join steps, the host owns the rest. Each attempt starts from
@@ -633,7 +641,7 @@ func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Repor
 			wsp.Attr("stall", stall.String()).End()
 			first = false
 			tsp := tr.Start(hostTL, "host.fetch").AttrInt("batch", idx).AttrInt("bytes", b.Bytes)
-			hostR.Transfer(hostTL, maxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
+			hostR.Transfer(hostTL, num.MaxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
 			tsp.End()
 			fetchDone = append(fetchDone, hostTL.Now())
 			report.TransferredBytes += b.Bytes
@@ -658,18 +666,19 @@ func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Repor
 
 			psp := tr.Start(hostTL, "host.process.batch").AttrInt("batch", idx)
 			if b.LeafAlias != "" {
-				// H0 leaf batch: seed the host join's inner side.
+				// H0 leaf batch: the column batch seeds the host join's inner
+				// side directly.
 				psp.Attr("leaf", b.LeafAlias)
 				for si, st := range p.Steps {
 					if st.Right.Ref.Alias == b.LeafAlias {
-						if seedErr := hostEng.SeedInner(pl, si, b.Rows); seedErr != nil {
+						if seedErr := hostEng.SeedInnerCols(pl, si, b.Cols); seedErr != nil {
 							psp.End()
 							return seedErr
 						}
 						break
 					}
 				}
-				ev.Rows = len(b.Rows)
+				ev.Rows = b.Cols.Len()
 			} else {
 				// Driving-chunk batch: run it through the host PQEP.
 				batch := b.Tuples
@@ -734,11 +743,4 @@ func snapshotViews(snap *kv.Snapshot) map[string]*lsm.View {
 		views[strings.TrimPrefix(name, "tbl.")] = cf.View
 	}
 	return views
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

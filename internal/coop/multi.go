@@ -7,6 +7,7 @@ import (
 	"hybridndp/internal/device"
 	"hybridndp/internal/exec"
 	"hybridndp/internal/hw"
+	"hybridndp/internal/num"
 	"hybridndp/internal/vclock"
 )
 
@@ -62,7 +63,7 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 
 	hostTL := vclock.NewTimeline("host")
 	hostR := hw.HostRates(x.Model)
-	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()}
+	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache(), BatchSize: x.BatchSize}
 	pl, err := hostEng.StartPipeline(p)
 	if err != nil {
 		return nil, err
@@ -92,6 +93,7 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 	}
 	for d := 0; d < devices; d++ {
 		dev := device.New(x.Model, x.Cat)
+		dev.BatchSize = x.BatchSize
 		cmd := &device.Command{Plan: p, SplitAfter: split, Snapshot: snap,
 			Chunks: x.chunkCount(p)/devices + 1}
 		if err := dev.Validate(cmd); err != nil {
@@ -138,7 +140,7 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 		}
 		hostTL.WaitUntil(tb.b.Ready, cat)
 		first = false
-		hostR.Transfer(hostTL, maxI64(tb.b.Bytes, 64), x.Model.SharedBufferSlot)
+		hostR.Transfer(hostTL, num.MaxI64(tb.b.Bytes, 64), x.Model.SharedBufferSlot)
 		mr.TransferredBytes += tb.b.Bytes
 		mr.Batches++
 		ev := BatchEvent{
@@ -148,15 +150,15 @@ func (x *Executor) RunHybridMulti(p *exec.Plan, s Strategy, devices int) (*Multi
 		if tb.b.LeafAlias != "" {
 			for si, st := range p.Steps {
 				if st.Right.Ref.Alias == tb.b.LeafAlias {
-					// Leaf rows arrive partitioned per device; seeding
-					// accumulates across devices via AppendInner.
-					if err := hostEng.AppendInner(pl, si, tb.b.Rows); err != nil {
+					// Leaf batches arrive partitioned per device; seeding
+					// accumulates across devices via AppendInnerCols.
+					if err := hostEng.AppendInnerCols(pl, si, tb.b.Cols); err != nil {
 						return nil, err
 					}
 					break
 				}
 			}
-			ev.Rows = len(tb.b.Rows)
+			ev.Rows = tb.b.Cols.Len()
 		} else {
 			batch := tb.b.Tuples
 			ev.Rows = len(batch)

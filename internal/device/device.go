@@ -76,8 +76,11 @@ type Batch struct {
 	Ready  vclock.Time
 	// LeafAlias is set for H0 leaf batches: which table's selection this is.
 	LeafAlias string
-	Rows      [][]byte // leaf rows for H0 batches
-	Last      bool
+	// Cols carries an H0 leaf selection as a fully-selected column batch —
+	// the cross-interconnect transfer unit the host gather loop feeds straight
+	// into SeedInnerCols/AppendInnerCols.
+	Cols *exec.ColBatch
+	Last bool
 	// Sum is the payload checksum sealed by the device before the slot is
 	// published and verified by the host after the fetch. 0 = unsealed
 	// (fault injection disabled): verification is skipped, so fault-free
@@ -110,10 +113,18 @@ func (b *Batch) Checksum() uint64 {
 			h.Write(pos)
 		}
 	}
-	writeLen(len(b.Rows))
-	for _, r := range b.Rows {
-		writeLen(len(r))
-		h.Write(r)
+	// Leaf payload: the column batch's selected rows in selection order —
+	// the same bytes, in the same framing, as the row-slice payload this
+	// checksum originally covered, so sealed sums are unchanged.
+	if b.Cols != nil {
+		writeLen(b.Cols.Len())
+		for _, i := range b.Cols.Sel {
+			r := b.Cols.Rows[i]
+			writeLen(len(r))
+			h.Write(r)
+		}
+	} else {
+		writeLen(0)
 	}
 	h.Write([]byte(b.LeafAlias))
 	sum := h.Sum64()
@@ -213,6 +224,10 @@ type Device struct {
 	// run's batch-emit path and flash read errors into the device engine.
 	// Per-run state like Trace: the caller attaches one injector per run.
 	Faults *fault.Injector
+	// BatchSize is the columnar batch row capacity of the engines this device
+	// builds (0 = exec.DefaultBatchSize); charges are byte-identical at every
+	// size.
+	BatchSize int
 }
 
 // New creates a device bound to the catalog (whose flash it reads directly).
@@ -233,6 +248,7 @@ func (d *Device) Engine(mp MemoryPlan) *exec.Engine {
 		JoinBuf:      d.Model.JoinBufBytes,
 		SelBuf:       d.Model.SelBufBytes,
 		PointerCache: mp.UsesPointerFmt,
+		BatchSize:    d.BatchSize,
 	}
 	if d.Faults != nil {
 		// Only assign a live injector: a typed-nil interface would defeat
@@ -297,16 +313,17 @@ func (d *Device) Run(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 			// batch each; the driving table streams in chunks.
 			for _, st := range p.Steps {
 				lsp := d.Trace.Start(d.TL, "device.leaf.scan").Attr("alias", st.Right.Ref.Alias)
-				rows, width, err := eng.ScanAccess(st.Right, nil, nil)
-				lsp.AttrInt("rows", int64(len(rows))).End()
+				cb, width, err := eng.ScanCols(st.Right, nil, nil)
 				if err != nil {
+					lsp.End()
 					return err
 				}
-				d.recordScan(int64(len(rows)), int64(len(rows))*width)
+				lsp.AttrInt("rows", int64(cb.Len())).End()
+				d.recordScan(int64(cb.Len()), int64(cb.Len())*width)
 				if err := emitBatch(Batch{
 					LeafAlias: st.Right.Ref.Alias,
-					Rows:      rows,
-					Bytes:     int64(len(rows)) * width,
+					Cols:      cb,
+					Bytes:     int64(cb.Len()) * width,
 				}); err != nil {
 					return err
 				}
@@ -367,14 +384,14 @@ func (d *Device) RunPartition(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 	if devSteps < 0 {
 		if lo == nil {
 			for _, st := range cmd.Plan.Steps {
-				rows, width, err := eng.ScanAccess(st.Right, nil, nil)
+				cb, width, err := eng.ScanCols(st.Right, nil, nil)
 				if err != nil {
 					return err
 				}
 				if err := emitBatch(Batch{
 					LeafAlias: st.Right.Ref.Alias,
-					Rows:      rows,
-					Bytes:     int64(len(rows)) * width,
+					Cols:      cb,
+					Bytes:     int64(cb.Len()) * width,
 				}); err != nil {
 					return err
 				}
@@ -411,16 +428,17 @@ func (d *Device) RunShard(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 // returns it as a leaf batch stamped with the device completion time.
 func (d *Device) ScanLeafPartition(ap exec.AccessPath, eng *exec.Engine, lo, hi *int32) (Batch, error) {
 	lsp := d.Trace.Start(d.TL, "device.leaf.scan").Attr("alias", ap.Ref.Alias)
-	rows, width, err := eng.ScanAccess(ap, lo, hi)
-	lsp.AttrInt("rows", int64(len(rows))).End()
+	cb, width, err := eng.ScanCols(ap, lo, hi)
 	if err != nil {
+		lsp.End()
 		return Batch{}, err
 	}
-	d.recordScan(int64(len(rows)), int64(len(rows))*width)
+	lsp.AttrInt("rows", int64(cb.Len())).End()
+	d.recordScan(int64(cb.Len()), int64(cb.Len())*width)
 	return Batch{
 		LeafAlias: ap.Ref.Alias,
-		Rows:      rows,
-		Bytes:     int64(len(rows)) * width,
+		Cols:      cb,
+		Bytes:     int64(cb.Len()) * width,
 		Ready:     d.TL.Now(),
 	}, nil
 }

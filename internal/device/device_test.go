@@ -141,8 +141,8 @@ func TestRunH0EmitsLeavesThenDrivingChunks(t *testing.T) {
 				t.Fatal("leaf batches must precede driving chunks")
 			}
 			leafBatches++
-			if b.Rows == nil && b.Bytes > 0 {
-				t.Fatal("leaf batch without rows")
+			if b.Cols == nil && b.Bytes > 0 {
+				t.Fatal("leaf batch without a column batch")
 			}
 		} else {
 			sawChunk = true

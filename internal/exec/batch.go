@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"hybridndp/internal/table"
+)
+
+// DefaultBatchSize is the row capacity of one columnar batch. 1024 fixed-width
+// row views keep the batch's slice headers and selection vector inside the L2
+// cache while amortizing per-batch bookkeeping; the EXPERIMENTS.md batch-size
+// sweep picked it from measured wall-clock data.
+const DefaultBatchSize = 1024
+
+// ColBatch is one fixed-size batch of rows in the engine's columnar
+// processing format: row views over the fixed-width record layout plus a
+// selection vector naming the rows that survived predicate evaluation, in
+// first-occurrence order. Operators communicate batches instead of single
+// tuples; rejected rows are never materialized — they are simply absent from
+// Sel. Column-major access falls out of the fixed-width layout: column i of
+// row r lives at Rows[r][schema.ColumnOffset(i)], so a per-column kernel
+// walks one fixed offset across the batch.
+type ColBatch struct {
+	Schema *table.Schema
+	Rows   [][]byte // row views (shared storage, never mutated)
+	Sel    []int32  // indices into Rows that passed selection, ascending
+}
+
+// Len reports the number of selected rows.
+func (b *ColBatch) Len() int { return len(b.Sel) }
+
+// Reset re-arms the batch for reuse with a new schema, keeping capacity.
+func (b *ColBatch) Reset(s *table.Schema) {
+	b.Schema = s
+	b.Rows = b.Rows[:0]
+	b.Sel = b.Sel[:0]
+}
+
+// SelectAll marks every row as selected.
+func (b *ColBatch) SelectAll() {
+	b.Sel = b.Sel[:0]
+	for i := range b.Rows {
+		b.Sel = append(b.Sel, int32(i))
+	}
+}
+
+// Selected appends the selected row views to dst and returns it.
+func (b *ColBatch) Selected(dst [][]byte) [][]byte {
+	for _, i := range b.Sel {
+		dst = append(dst, b.Rows[i])
+	}
+	return dst
+}
+
+// View returns the selected row views in selection order. Fully-selected
+// batches (the transfer-unit case: every surviving row was already filtered
+// at the producer) return the backing slice without copying.
+func (b *ColBatch) View() [][]byte {
+	if len(b.Sel) == len(b.Rows) {
+		return b.Rows
+	}
+	return b.Selected(nil)
+}
+
+// NewColBatch wraps already-selected rows (a device batch arriving over the
+// interconnect, a fleet shard's partition) as a fully-selected column batch.
+func NewColBatch(s *table.Schema, rows [][]byte) *ColBatch {
+	b := &ColBatch{Schema: s, Rows: rows}
+	b.SelectAll()
+	return b
+}
+
+// batchSize resolves the engine's configured batch row capacity.
+func (e *Engine) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return DefaultBatchSize
+}

@@ -36,6 +36,12 @@ type Engine struct {
 	// PointerCache stores intermediate results as pointers instead of
 	// copied rows (paper §4.2 cache structure optimization).
 	PointerCache bool
+	// BatchSize is the row capacity of the columnar batches the engine's
+	// operators process at a time (0 = DefaultBatchSize). Charges derive from
+	// accumulated batch counts with the same integer math at every size, so
+	// virtual time is byte-identical for any value; the knob only trades
+	// wall-clock locality against scratch memory.
+	BatchSize int
 	// Faults, when set, injects flash read failures into this engine's
 	// storage accesses (chaos runs; see internal/fault).
 	Faults flash.Faults
@@ -101,8 +107,14 @@ type Pipeline struct {
 	// plan's conds are not mutated; hand-built plans may carry unresolved
 	// indices).
 	conds [][]BoundCond
-	// keyBuf is the reusable scratch buffer for join-key encoding.
+	// keyBuf is the reusable scratch arena for join/group-key encoding (one
+	// batch of keys at a time).
 	keyBuf []byte
+	// probeEnd/probeEnt are the reusable batch-probe scratch vectors: per
+	// batch tuple, the key's end offset in keyBuf and its resolved hash-table
+	// entry (-1 = NULL key or no match).
+	probeEnd []int32
+	probeEnt []int32
 	// arena backs tuple extension storage (see tupleArena).
 	arena tupleArena
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"fmt"
 	"testing"
 
 	"hybridndp/internal/expr"
@@ -723,5 +724,27 @@ func BenchmarkGroupAggregate(b *testing.B) {
 		if res.RowCount != 4 {
 			b.Fatalf("groups = %d", res.RowCount)
 		}
+	}
+}
+
+// BenchmarkBatchSize sweeps the columnar batch row capacity over the full
+// scan→hash-join pipeline. It backs the EXPERIMENTS.md batch-size table that
+// picked DefaultBatchSize; it is deliberately absent from the bench-json
+// regex so the trajectory artifact tracks one configuration only.
+func BenchmarkBatchSize(b *testing.B) {
+	cat := fixture(b, 100, 20000)
+	q := joinQuery()
+	p := planFor(q, BNL, false, "")
+	for _, bs := range []int{1, 7, 64, 256, 1024, 4096} {
+		b.Run(fmt.Sprintf("bs=%d", bs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e := hostEngine(cat)
+				e.BatchSize = bs
+				if _, err := e.RunPlan(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -2,8 +2,11 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 
+	"hybridndp/internal/expr"
 	"hybridndp/internal/hw"
+	"hybridndp/internal/num"
 	"hybridndp/internal/query"
 	"hybridndp/internal/table"
 	"hybridndp/internal/vclock"
@@ -14,6 +17,13 @@ import (
 // [loPK, hiPK) used by the device engine's chunked pipeline. The scan charges
 // flash reads and merge comparisons through the LSM layer, predicate
 // evaluation per scanned record, and a selection-cache copy per match.
+//
+// Execution is vectorized: row views accumulate into a fixed-size column
+// batch, the compiled predicate refines the batch's selection vector term by
+// term, and only selected views reach the result — rejected rows are never
+// materialized. Charges derive from the accumulated scanned/selected counts,
+// so virtual time is byte-identical at every batch size (size 1 degenerates
+// to the tuple-at-a-time order of operations).
 func (e *Engine) ScanAccess(ap AccessPath, loPK, hiPK *int32) ([][]byte, int64, error) {
 	t, err := e.Cat.Table(ap.Ref.Table)
 	if err != nil {
@@ -26,8 +36,22 @@ func (e *Engine) ScanAccess(ap AccessPath, loPK, hiPK *int32) ([][]byte, int64, 
 	}
 	width := projWidth(t.Schema, ap.Proj)
 
+	bp := expr.Compile(t.Schema, ap.Filter)
+	bs := e.batchSize()
+	batch := ColBatch{Schema: t.Schema, Rows: make([][]byte, 0, bs), Sel: make([]int32, 0, bs)}
 	var rows [][]byte
 	scanned := 0
+	flush := func() {
+		if len(batch.Rows) == 0 {
+			return
+		}
+		batch.SelectAll()
+		if bp != nil {
+			batch.Sel = bp.Filter(batch.Rows, batch.Sel)
+		}
+		rows = batch.Selected(rows)
+		batch.Rows = batch.Rows[:0]
+	}
 
 	view := e.viewOf(ap.Ref.Table)
 	if ap.UseFilterIndex {
@@ -50,8 +74,9 @@ func (e *Engine) ScanAccess(ap AccessPath, loPK, hiPK *int32) ([][]byte, int64, 
 				continue
 			}
 			scanned++
-			if ap.Filter == nil || ap.Filter.Eval(rec) {
-				rows = append(rows, rec.Data)
+			batch.Rows = append(batch.Rows, rec.Data)
+			if len(batch.Rows) >= bs {
+				flush()
 			}
 		}
 	} else {
@@ -64,12 +89,13 @@ func (e *Engine) ScanAccess(ap AccessPath, loPK, hiPK *int32) ([][]byte, int64, 
 		}
 		for it := t.ScanView(view, lo, hi, ac); it.Valid(); it.Next() {
 			scanned++
-			rec := table.Record{Schema: t.Schema, Data: it.Entry().Value}
-			if ap.Filter == nil || ap.Filter.Eval(rec) {
-				rows = append(rows, it.Entry().Value)
+			batch.Rows = append(batch.Rows, it.Entry().Value)
+			if len(batch.Rows) >= bs {
+				flush()
 			}
 		}
 	}
+	flush()
 
 	if e.TL != nil {
 		e.R.Eval(e.TL, scanned, terms)
@@ -78,6 +104,33 @@ func (e *Engine) ScanAccess(ap AccessPath, loPK, hiPK *int32) ([][]byte, int64, 
 		e.R.RowOverhead(e.TL, len(rows), hw.CatSelection)
 	}
 	return rows, width, nil
+}
+
+// ScanCols is ScanAccess in the engine's columnar transfer format: the
+// surviving rows arrive as one fully-selected ColBatch, the unit device leaf
+// scans emit and the host gather loop consumes. Charges are ScanAccess's.
+func (e *Engine) ScanCols(ap AccessPath, loPK, hiPK *int32) (*ColBatch, int64, error) {
+	rows, width, err := e.ScanAccess(ap, loPK, hiPK)
+	if err != nil {
+		return nil, 0, err
+	}
+	t, err := e.Cat.Table(ap.Ref.Table)
+	if err != nil {
+		return nil, 0, err
+	}
+	return NewColBatch(t.Schema, rows), width, nil
+}
+
+// SeedInnerCols seeds a join's inner side from a column batch (the H0 leaf
+// batch a device shipped).
+func (e *Engine) SeedInnerCols(pl *Pipeline, si int, cb *ColBatch) error {
+	return e.SeedInner(pl, si, cb.View())
+}
+
+// AppendInnerCols appends a column batch to a join's inner side (multi-device
+// and fleet gather loops, one shard partition at a time).
+func (e *Engine) AppendInnerCols(pl *Pipeline, si int, cb *ColBatch) error {
+	return e.AppendInner(pl, si, cb.View())
 }
 
 // cacheWidth is the per-record footprint in an intermediate cache: the
@@ -135,7 +188,6 @@ func appendRowKey(buf []byte, rec table.Record, conds []BoundCond) ([]byte, bool
 	return buf, true
 }
 
-
 // JoinStep executes join step si of the pipeline over the given left tuples
 // and returns the extended tuples. Inner-side state persists in the pipeline
 // across chunked invocations.
@@ -178,35 +230,62 @@ func (e *Engine) joinBuffered(pl *Pipeline, si int, leftShape *Shape, left []Tup
 		}
 	}
 
+	// Batch-at-a-time probing: for each batch of left tuples, phase 1 encodes
+	// every join key into the shared arena and resolves its hash-table entry;
+	// phase 2 walks the batch again chasing match chains in the same tuple
+	// order, so output ordering and the integer comparison counters — and with
+	// them every charge — are identical to tuple-at-a-time execution.
 	var out []Tuple
 	var cmpBytes int64
 	cmps := 0
 	conds := pl.conds[si]
-	key := pl.keyBuf[:0]
-	for _, tu := range left {
-		key = key[:0]
-		var ok bool
-		key, ok = appendTupleKey(key, leftShape, tu, conds)
-		if !ok {
-			continue
-		}
-		if ei := inner.tab.find(fnv1a(key), key); ei >= 0 {
-			e := &inner.tab.entries[ei]
-			cmps += int(e.n)
-			cmpBytes += int64(len(key)) * int64(e.n)
-			for r := e.head; r >= 0; r = inner.tab.next[r] {
-				out = append(out, pl.extendTuple(tu, inner.rows[r]))
+	bs := e.batchSize()
+	keys := pl.keyBuf[:0]
+	ends := pl.probeEnd[:0]
+	ents := pl.probeEnt[:0]
+	for base := 0; base < len(left); base += bs {
+		chunk := left[base:min(base+bs, len(left))]
+		keys = keys[:0]
+		ends = ends[:0]
+		ents = ents[:0]
+		for _, tu := range chunk {
+			start := len(keys)
+			var ok bool
+			keys, ok = appendTupleKey(keys, leftShape, tu, conds)
+			if !ok {
+				keys = keys[:start] // discard partial NULL-key append
+				ends = append(ends, int32(start))
+				ents = append(ents, -1)
+				continue
 			}
+			k := keys[start:]
+			ends = append(ends, int32(len(keys)))
+			ents = append(ents, inner.tab.find(fnv1a(k), k))
+		}
+		start := int32(0)
+		for j, tu := range chunk {
+			end := ends[j]
+			if ei := ents[j]; ei >= 0 {
+				ent := &inner.tab.entries[ei]
+				cmps += int(ent.n)
+				cmpBytes += int64(end-start) * int64(ent.n)
+				for r := ent.head; r >= 0; r = inner.tab.next[r] {
+					out = append(out, pl.extendTuple(tu, inner.rows[r]))
+				}
+			}
+			start = end
 		}
 	}
-	pl.keyBuf = key[:0]
+	pl.keyBuf = keys[:0]
+	pl.probeEnd = ends[:0]
+	pl.probeEnt = ents[:0]
 	if e.TL != nil {
 		e.R.HashProbe(e.TL, len(left))
 		e.R.Memcmp(e.TL, cmpBytes, cmps)
 		if step.Type == NLJ {
 			// Naive nested loop compares every pair.
 			pairs := int64(len(left)) * int64(len(inner.rows))
-			e.R.Memcmp(e.TL, pairs*8, clampInt(pairs))
+			e.R.Memcmp(e.TL, pairs*8, num.ClampInt(pairs))
 		}
 		e.R.Memcpy(e.TL, int64(len(out))*e.cacheWidth(pl.Widths[si+1]))
 		e.R.RowOverhead(e.TL, len(out), hw.CatBufferManage)
@@ -341,22 +420,21 @@ func accountDelta(before, after map[string]vclock.Duration) map[string]vclock.Du
 	return out
 }
 
-// chargeRepeatDelta books the delta map times extra times.
+// chargeRepeatDelta books the delta map times extra times. Categories charge
+// in sorted order so the timeline's float accumulation sequence — and with it
+// every downstream golden — is independent of map iteration order.
 func chargeRepeatDelta(tl *vclock.Timeline, delta map[string]vclock.Duration, times int) {
 	if times <= 0 || delta == nil {
 		return
 	}
-	for cat, d := range delta {
-		tl.Charge(cat, d*vclock.Duration(times))
+	cats := make([]string, 0, len(delta))
+	for cat := range delta {
+		cats = append(cats, cat)
 	}
-}
-
-func clampInt(v int64) int {
-	const maxInt = int(^uint(0) >> 1)
-	if v > int64(maxInt) {
-		return maxInt
+	sort.Strings(cats)
+	for _, cat := range cats {
+		tl.Charge(cat, delta[cat]*vclock.Duration(times))
 	}
-	return int(v)
 }
 
 // joinIndexed implements BNLI: for every left tuple the right side is probed
@@ -379,6 +457,9 @@ func (e *Engine) joinIndexed(pl *Pipeline, si int, leftShape *Shape, left []Tupl
 	if step.Right.Filter != nil {
 		terms = step.Right.Filter.Terms()
 	}
+	// The right-side filter runs per fetched record; the compiled form reads
+	// the fixed-width layout directly instead of decoding Values per term.
+	rightBP := expr.Compile(rt.Schema, step.Right.Filter)
 
 	var out []Tuple
 	var rrows []table.Record
@@ -418,7 +499,7 @@ func (e *Engine) joinIndexed(pl *Pipeline, si int, leftShape *Shape, left []Tupl
 		}
 		for _, rec := range rrows {
 			fetched++
-			if step.Right.Filter != nil && !step.Right.Filter.Eval(rec) {
+			if rightBP != nil && !rightBP.EvalRow(rec.Data) {
 				continue
 			}
 			match := true
@@ -534,73 +615,90 @@ func (e *Engine) groupAggregate(sh *Shape, tuples []Tuple, groupBy []query.ColRe
 		counts []int64
 		seen   []bool
 	)
-	var gk []byte
-	for _, tu := range tuples {
-		gk = gk[:0]
-		for gi := range groupBy {
-			r := gbRefs[gi]
-			if r.pos >= 0 && tu[r.pos] != nil {
-				var ok bool
-				gk, ok = table.Record{Schema: sh.Schemas[r.pos], Data: tu[r.pos]}.AppendColKey(gk, r.idx)
-				if ok {
+	// Tuples accumulate batch-at-a-time: phase 1 encodes one batch of group
+	// keys into a shared arena, phase 2 walks the spans doing the hash-table
+	// upsert and accumulator updates in the same tuple order. put() copies the
+	// key into the table's own arena, so reusing ours across batches is safe,
+	// and ordinal assignment — the output order — matches one-at-a-time.
+	bs := e.batchSize()
+	var gkArena []byte
+	var gkEnds []int32
+	for b := 0; b < len(tuples); b += bs {
+		chunk := tuples[b:min(b+bs, len(tuples))]
+		gkArena = gkArena[:0]
+		gkEnds = gkEnds[:0]
+		for _, tu := range chunk {
+			for gi := range groupBy {
+				r := gbRefs[gi]
+				if r.pos >= 0 && tu[r.pos] != nil {
+					var ok bool
+					gkArena, ok = table.Record{Schema: sh.Schemas[r.pos], Data: tu[r.pos]}.AppendColKey(gkArena, r.idx)
+					if ok {
+						continue
+					}
+				}
+				// NULL group keys encode like the empty string (and collide
+				// with it), as the decoded-value codec always has.
+				gkArena = append(gkArena, 's', 0)
+			}
+			gkEnds = append(gkEnds, int32(len(gkArena)))
+		}
+		gkStart := int32(0)
+		for j, tu := range chunk {
+			gk := gkArena[gkStart:gkEnds[j]]
+			gkStart = gkEnds[j]
+			ord, fresh := tab.put(fnv1a(gk), gk)
+			if fresh {
+				kv := make([]table.Value, len(groupBy))
+				for gi := range groupBy {
+					kv[gi] = colVal(sh, tu, gbRefs[gi])
+				}
+				keys = append(keys, kv)
+				for i := 0; i < na; i++ {
+					minI = append(minI, 0)
+					minS = append(minS, "")
+					sums = append(sums, 0)
+					counts = append(counts, 0)
+					seen = append(seen, false)
+				}
+			}
+			base := int(ord) * na
+			for i, a := range aggs {
+				if a.Star {
+					counts[base+i]++
 					continue
 				}
-			}
-			// NULL group keys encode like the empty string (and collide with
-			// it), as the decoded-value codec always has.
-			gk = append(gk, 's', 0)
-		}
-		ord, fresh := tab.put(fnv1a(gk), gk)
-		if fresh {
-			kv := make([]table.Value, len(groupBy))
-			for gi := range groupBy {
-				kv[gi] = colVal(sh, tu, gbRefs[gi])
-			}
-			keys = append(keys, kv)
-			for i := 0; i < na; i++ {
-				minI = append(minI, 0)
-				minS = append(minS, "")
-				sums = append(sums, 0)
-				counts = append(counts, 0)
-				seen = append(seen, false)
-			}
-		}
-		base := int(ord) * na
-		for i, a := range aggs {
-			if a.Star {
+				v := colVal(sh, tu, aggRefs[i])
+				if v.Null {
+					continue
+				}
 				counts[base+i]++
-				continue
-			}
-			v := colVal(sh, tu, aggRefs[i])
-			if v.Null {
-				continue
-			}
-			counts[base+i]++
-			switch a.Func {
-			case query.Min:
-				if v.IsI {
-					if !seen[base+i] || v.Int < minI[base+i] {
-						minI[base+i] = v.Int
+				switch a.Func {
+				case query.Min:
+					if v.IsI {
+						if !seen[base+i] || v.Int < minI[base+i] {
+							minI[base+i] = v.Int
+						}
+					} else if !seen[base+i] || v.Str < minS[base+i] {
+						minS[base+i] = v.Str
 					}
-				} else if !seen[base+i] || v.Str < minS[base+i] {
-					minS[base+i] = v.Str
-				}
-			case query.Max:
-				if v.IsI {
-					if !seen[base+i] || v.Int > minI[base+i] {
-						minI[base+i] = v.Int
+				case query.Max:
+					if v.IsI {
+						if !seen[base+i] || v.Int > minI[base+i] {
+							minI[base+i] = v.Int
+						}
+					} else if !seen[base+i] || v.Str > minS[base+i] {
+						minS[base+i] = v.Str
 					}
-				} else if !seen[base+i] || v.Str > minS[base+i] {
-					minS[base+i] = v.Str
+				case query.Sum, query.Avg:
+					if v.IsI {
+						sums[base+i] += float64(v.Int)
+					}
+				case query.Count:
+					// count handled above
 				}
-			case query.Sum, query.Avg:
-				if v.IsI {
-					sums[base+i] += float64(v.Int)
-				}
-			case query.Count:
-				// count handled above
+				seen[base+i] = true
 			}
-			seen[base+i] = true
 		}
 	}
 
@@ -633,7 +731,7 @@ func (e *Engine) groupAggregate(sh *Shape, tuples []Tuple, groupBy []query.ColRe
 			case a.Func == query.Sum:
 				row = append(row, table.IntVal(int32(sums[base+i])))
 			case a.Func == query.Avg:
-				row = append(row, table.IntVal(int32(sums[base+i]/float64(maxI64(counts[base+i], 1)))))
+				row = append(row, table.IntVal(int32(sums[base+i]/float64(num.MaxI64(counts[base+i], 1)))))
 			case a.Func == query.Min || a.Func == query.Max:
 				if minS[base+i] != "" {
 					row = append(row, table.StrVal(minS[base+i]))
@@ -664,13 +762,6 @@ func (e *Engine) groupAggregate(sh *Shape, tuples []Tuple, groupBy []query.ColRe
 		res.Bytes = rowWidth
 	}
 	return res, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // projectTuples renders plain projections.

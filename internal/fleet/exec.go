@@ -10,6 +10,7 @@ import (
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/lsm"
+	"hybridndp/internal/num"
 	"hybridndp/internal/table"
 	"hybridndp/internal/vclock"
 )
@@ -73,6 +74,10 @@ type Executor struct {
 	// Chunks overrides the global driving-table chunk count (0 = auto); each
 	// shard gets its per-device share.
 	Chunks int
+	// BatchSize sets the columnar batch row capacity of every engine this
+	// executor builds (0 = exec.DefaultBatchSize); charges are byte-identical
+	// at every size.
+	BatchSize int
 }
 
 // NewExecutor builds a fleet executor over the catalog and descriptor.
@@ -141,7 +146,7 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 	rep := &Report{Query: p.Query.Name, Mode: a.Mode, Devices: x.Desc.Devices}
 	hostTL := vclock.NewTimeline("host")
 	hostR := hw.HostRates(x.Model)
-	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache()}
+	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache(), BatchSize: x.BatchSize}
 
 	// A host-global decision never scatters: the whole plan runs on the host
 	// exactly like the cooperative baseline.
@@ -253,6 +258,7 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		}
 		sp := a.Shards[dev]
 		d := device.New(x.Model, x.Cat)
+		d.BatchSize = x.BatchSize
 		devs[dev] = d
 		cmd := &device.Command{Plan: p, SplitAfter: sp.Split, Snapshot: snap, Chunks: shardChunks}
 		if err := d.Validate(cmd); err != nil {
@@ -283,7 +289,7 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 						return nil, err
 					}
 					leaves[leafKey{si, pi}] = b
-					shardRows[dev] += int64(len(b.Rows))
+					shardRows[dev] += int64(b.Cols.Len())
 					shardBatches[dev]++
 				}
 			}
@@ -343,7 +349,7 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 			first = false
 		}
 		hostTL.WaitUntil(b.Ready, cat)
-		hostR.Transfer(hostTL, maxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
+		hostR.Transfer(hostTL, num.MaxI64(b.Bytes, 64), x.Model.SharedBufferSlot)
 		rep.TransferredBytes += b.Bytes
 		rep.Batches++
 	}
@@ -352,17 +358,17 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 			for pi, part := range x.Desc.Parts[st.Right.Ref.Table] {
 				if b, ok := leaves[leafKey{si, pi}]; ok {
 					fetch(b)
-					if err := hostEng.AppendInner(pl, si, b.Rows); err != nil {
+					if err := hostEng.AppendInnerCols(pl, si, b.Cols); err != nil {
 						return nil, err
 					}
 					continue
 				}
 				// Degraded owner: the host scans this leaf partition itself.
-				rows, _, err := hostEng.ScanAccess(st.Right, part.Lo, part.Hi)
+				cb, _, err := hostEng.ScanCols(st.Right, part.Lo, part.Hi)
 				if err != nil {
 					return nil, err
 				}
-				if err := hostEng.AppendInner(pl, si, rows); err != nil {
+				if err := hostEng.AppendInnerCols(pl, si, cb); err != nil {
 					return nil, err
 				}
 			}
@@ -463,11 +469,4 @@ func Fingerprint(r *exec.Result) string {
 		fmt.Fprintf(h, "\n")
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -105,6 +105,23 @@ func (m *mergeIter) popTopKey() (Entry, bool) {
 	if len(m.srcs) == 0 {
 		return Entry{}, false
 	}
+	if len(m.srcs) == 1 {
+		// Single-source fast path: keys are strictly increasing within one
+		// source, so the dedup loop could only ever pop this one entry. A
+		// one-element heap never calls less(), so no comparison charge is
+		// skipped here either.
+		s := m.srcs[0]
+		e := s.entry()
+		s.next()
+		if s.err() != nil {
+			m.failed = s.err()
+		}
+		if !s.valid() {
+			m.srcs = m.srcs[:0]
+			m.ages = m.ages[:0]
+		}
+		return e, true
+	}
 	top := m.srcs[0].entry()
 	key := top.Key
 	best := top

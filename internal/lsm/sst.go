@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"hybridndp/internal/flash"
 	"hybridndp/internal/hw"
@@ -62,6 +63,14 @@ type SST struct {
 	maxKey  []byte
 	count   int
 	dataLen int64
+
+	// mu guards parsed. parsed memoizes decoded data blocks by block index —
+	// a wall-clock optimization only: the table is immutable, entries alias
+	// the flash blob, and every virtual-cache miss still performs the charged,
+	// fault-injectable flash read before consulting the memo, so virtual time
+	// and fault behavior are byte-identical with or without it.
+	mu     sync.RWMutex
+	parsed [][]Entry // guarded by mu
 }
 
 // BuildSST writes the entries (which must be sorted by key, unique) as a new
@@ -293,9 +302,10 @@ func indexDepth(n int) int {
 	return d
 }
 
-// parseBlock decodes all entries of one raw data block.
-func parseBlock(raw []byte) ([]Entry, error) {
-	var out []Entry
+// parseBlock decodes all entries of one raw data block. sizeHint pre-sizes
+// the output from the index entry's recorded count (0 = unknown).
+func parseBlock(raw []byte, sizeHint int) ([]Entry, error) {
+	out := make([]Entry, 0, sizeHint)
 	for len(raw) > 0 {
 		flags := raw[0]
 		raw = raw[1:]
@@ -348,13 +358,30 @@ func (t *SST) readBlockMode(i int, ac Access, sequential bool) ([]Entry, error) 
 	if sequential {
 		read = t.fl.ReadAtSeq
 	}
+	// The flash read happens unconditionally: it books the virtual-time
+	// charge and gives fault injection its shot. Only then may the memoized
+	// decode stand in for re-parsing the returned bytes.
 	raw, err := read(t.file, ie.off, ie.length, ac.TL, ac.R, ac.Faults)
 	if err != nil {
 		return nil, err
 	}
-	entries, err := parseBlock(raw)
-	if err != nil {
-		return nil, err
+	t.mu.RLock()
+	var entries []Entry
+	if t.parsed != nil {
+		entries = t.parsed[i]
+	}
+	t.mu.RUnlock()
+	if entries == nil {
+		entries, err = parseBlock(raw, ie.entries)
+		if err != nil {
+			return nil, err
+		}
+		t.mu.Lock()
+		if t.parsed == nil {
+			t.parsed = make([][]Entry, len(t.index))
+		}
+		t.parsed[i] = entries
+		t.mu.Unlock()
 	}
 	ac.Cache.Put(t.file, i, entries, ie.length)
 	return entries, nil

@@ -1,0 +1,32 @@
+// Package num collects the small integer helpers that previously lived as
+// per-package copies (exec, coop, fleet, table each carried a maxI64). One
+// definition keeps the semantics — and any future overflow handling — in one
+// place.
+package num
+
+// MaxI64 returns the larger of a and b.
+func MaxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinI64 returns the smaller of a and b.
+func MinI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// ClampInt converts an int64 count to int, saturating at the platform's
+// maximum int instead of wrapping (charge counts derived from row-pair
+// products can exceed 32-bit ranges).
+func ClampInt(v int64) int {
+	const maxInt = int(^uint(0) >> 1)
+	if v > int64(maxInt) {
+		return maxInt
+	}
+	return int(v)
+}

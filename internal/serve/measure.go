@@ -71,10 +71,19 @@ func (ct *CostTable) HostCapacityQPS(lanes int) float64 {
 // deterministic, and results land in pre-sized per-index slots, so the table
 // is byte-identical for any worker count.
 func Measure(ds *job.Dataset, queries []*query.Query, workers int) (*CostTable, error) {
+	return MeasureBatched(ds, queries, workers, 0)
+}
+
+// MeasureBatched is Measure with an explicit columnar batch row capacity for
+// the measuring executor (0 = exec.DefaultBatchSize). Virtual costs are
+// byte-identical at every batch size; the parameter exists so the golden
+// suite can prove it on the serving surface too.
+func MeasureBatched(ds *job.Dataset, queries []*query.Query, workers, batchSize int) (*CostTable, error) {
 	opt := optimizer.New(ds.Cat, ds.Model)
 	// A private executor: no metrics registry is attached, so parallel
 	// measurement cannot interleave writes into the serving registry.
 	ex := coop.NewExecutor(ds.Cat, ds.DB, ds.Model)
+	ex.BatchSize = batchSize
 	costs := make([]*QueryCost, len(queries))
 	errs := make([]error, len(queries))
 	forEach(workers, len(queries), func(i int) {

@@ -159,6 +159,18 @@ func (s *Schema) ColumnByName(name string) (Column, bool) {
 	return s.Columns[i], true
 }
 
+// ColumnOffset reports the byte offset of column i in the fixed-width record
+// layout. Vectorized kernels use it to read one column across a batch of row
+// views without decoding Values; i must be a valid column index.
+func (s *Schema) ColumnOffset(i int) int { return s.offsets[i] }
+
+// NullBit reports the null-bitmap byte index and bit mask testing whether
+// column i is NULL (row[byteIdx]&mask != 0), the batch-kernel form of
+// Record.IsNull.
+func (s *Schema) NullBit(i int) (byteIdx int, mask byte) {
+	return s.nullOff + i/8, 1 << (i % 8)
+}
+
 // ColumnStoredBytes reports the aligned on-record footprint of one column,
 // used by the cost model's projection-byte terms (tbl_pbn).
 func (s *Schema) ColumnStoredBytes(name string) int {

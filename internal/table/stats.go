@@ -2,6 +2,7 @@ package table
 
 import (
 	"hybridndp/internal/lsm"
+	"hybridndp/internal/num"
 )
 
 // Stats holds the optimizer statistics of one table, collected out of index
@@ -81,7 +82,7 @@ func (t *Table) CollectStats() *Stats {
 	for col, set := range distinct {
 		d := int64(len(set))
 		if n > 0 && d*10 >= n*9 { // ≥90% distinct in sample → scale up
-			d = d * rows / maxInt64(n, 1)
+			d = d * rows / num.MaxI64(n, 1)
 		}
 		if d < 1 {
 			d = 1
@@ -93,13 +94,6 @@ func (t *Table) CollectStats() *Stats {
 	t.stats = st
 	t.mu.Unlock()
 	return st
-}
-
-func maxInt64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // SelectivityOf estimates the fraction of rows matching pred by evaluating it
