@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json benchdiff serve serve-smoke trace-smoke chaos fleet-smoke
+.PHONY: all build vet lint test race bench bench-json benchdiff serve serve-smoke trace-smoke chaos chaos-slo fleet-smoke
 
 all: build vet lint test
 
@@ -76,3 +76,12 @@ chaos:
 	$(GO) run ./cmd/jobbench -scale 0.01 -faults "dev.crash=1" -trace "8d@H1:chaos-trace.json" >/dev/null
 	$(GO) run ./cmd/tracecheck -chaos chaos-trace.json
 	rm -f chaos-trace.json
+
+# Chaos-SLO gate: cost tables measured through a 4-device fleet with one
+# stalled member (unhedged and hedged), then the identical open-loop arrival
+# stream through five policy×hedge combos. hybridserve exits non-zero unless
+# adaptive placement + hedged shard execution strictly beats both force-host
+# and unhedged adaptive on worst-tenant p99 and SLO-miss rate (or if any
+# fleet result mismatches the host-native fingerprint).
+chaos-slo:
+	$(GO) run ./cmd/hybridserve -scale 0.01 -faults "dev1:dev.stall=2ms,seed=1" -arrival poisson >/dev/null

@@ -19,6 +19,16 @@
 //	hybridserve -tenants 3 -arrival poisson:200 -slo 10ms
 //	hybridserve -tenants gold:4:150:5,bronze:1:50:20 -arrival burst:80:50:0.2:5
 //	hybridserve -tenants 3 -slo 10ms -metrics   # plus per-policy registry dumps
+//
+// Chaos-SLO mode — active when -faults is combined with open-loop SLO mode.
+// The workload's cost table is measured through a fault-injected fleet (once
+// unhedged, once with hedged shard execution) and the identical arrival
+// stream plays through five policy×hedge combos; the run exits non-zero
+// unless adaptive+hedge strictly beats both force-host and unhedged adaptive
+// on worst-tenant p99 and SLO-miss rate:
+//
+//	hybridserve -faults "dev1:dev.stall=2ms,seed=1" -arrival poisson
+//	hybridserve -faults "dev1:dev.stall=2ms,seed=1" -arrival poisson -deadlines
 package main
 
 import (
@@ -66,7 +76,13 @@ func main() {
 			"default per-tenant latency objective for open-loop SLO mode (virtual time; 0 = 10ms for count-form tenants)")
 		horizonF = flag.Duration("horizon", time.Second,
 			"open-loop arrival window in virtual time")
-		seedF = flag.Int64("seed", 1, "open-loop arrival/selection seed")
+		seedF     = flag.Int64("seed", 1, "open-loop arrival/selection seed")
+		deadlineF = flag.Duration("deadline", 0,
+			"per-request deadline for batch serving mode: bounds both the wall-clock queue wait and the virtual execution budget; expired requests reject with sched.ErrExpired, deadline-pressed fleet shards degrade to host")
+		deadlinesB = flag.Bool("deadlines", false,
+			"open-loop SLO/chaos mode: shed requests whose earliest feasible completion would already blow arrival + tenant SLO (serve.ErrDeadlineExceeded)")
+		hedgeB = flag.Bool("hedge", false,
+			"enable hedged shard execution in batch fleet mode: slow shards get a host-native backup and the earlier virtual finisher wins")
 	)
 	flag.Parse()
 
@@ -92,18 +108,25 @@ func main() {
 	fmt.Printf("loaded in %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *tenantsF != "" || *arrivalF != "" || *sloF != 0 {
-		if err := openLoop(h, *tenantsF, *arrivalF, *sloF, *horizonF, *seedF, *workers, *queue, *metrics); err != nil {
+		if *faults != "" {
+			if err := chaosOpenLoop(h, *faults, *tenantsF, *arrivalF, *sloF, *horizonF,
+				*seedF, *workers, *devices, *metrics, *deadlinesB); err != nil {
+				fatal(err)
+			}
+		} else if err := openLoop(h, *tenantsF, *arrivalF, *sloF, *horizonF, *seedF, *workers, *queue, *metrics, *deadlinesB); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("\nwall time %v\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 
+	var faultPlan *fault.Plan
 	if *faults != "" {
 		p, err := fault.Parse(*faults)
 		if err != nil {
 			fatal(err)
 		}
+		faultPlan = p
 		h.Exec.Faults = p
 		fmt.Printf("fault injection active: %s\n", p)
 	}
@@ -145,14 +168,22 @@ func main() {
 			fatal(err)
 		}
 		cfg.Fleet = fleet.NewExecutor(h.DS.Cat, h.DS.DB, h.DS.Model, desc)
+		cfg.Fleet.Faults = faultPlan
+		if *hedgeB {
+			cfg.Fleet.Hedge = fleet.HedgeConfig{Enabled: true}
+			fmt.Println("hedged shard execution active")
+		}
 		fmt.Printf("fleet execution active:\n%s", desc)
+	} else if *hedgeB {
+		fatal(fmt.Errorf("-hedge requires -fleet (hedging is per-shard)"))
 	}
 
 	fmt.Printf("serving %d queries (%s policy, %d workers, %d device(s)) ...\n",
 		len(mix), pol, cfg.Workers, cfg.Devices)
 	s := sched.New(h.Opt, h.Exec, h.DS.Model, cfg)
+	dl := sched.Deadline{Wall: *deadlineF, Exec: vclock.FromStd(*deadlineF)}
 	for i, q := range mix {
-		if _, err := s.Submit(context.Background(), q, sched.Priority(i%3)); err != nil {
+		if _, err := s.SubmitDeadline(context.Background(), q, sched.Priority(i%3), dl); err != nil {
 			s.Close()
 			fatal(fmt.Errorf("submit %s: %w", q.Name, err))
 		}
@@ -190,7 +221,7 @@ func main() {
 // openLoop runs the serving-front-door experiment: the SLO sweep over the
 // three policies with the identical arrival stream, printing the per-tenant
 // tail-latency table (and, with -metrics, each policy's registry dump).
-func openLoop(h *harness.H, tenantsSpec, arrivalSpec string, slo, horizon time.Duration, seed int64, workers, queue int, metrics bool) error {
+func openLoop(h *harness.H, tenantsSpec, arrivalSpec string, slo, horizon time.Duration, seed int64, workers, queue int, metrics, deadlines bool) error {
 	defSLO := vclock.FromStd(slo)
 	if defSLO <= 0 {
 		defSLO = 10 * vclock.Millisecond
@@ -200,11 +231,12 @@ func openLoop(h *harness.H, tenantsSpec, arrivalSpec string, slo, horizon time.D
 		return err
 	}
 	opt := harness.SLOOptions{
-		Tenants:    tenants,
-		Horizon:    vclock.FromStd(horizon),
-		Seed:       seed,
-		Workers:    workers,
-		QueueDepth: queue,
+		Tenants:      tenants,
+		Horizon:      vclock.FromStd(horizon),
+		Seed:         seed,
+		Workers:      workers,
+		QueueDepth:   queue,
+		UseDeadlines: deadlines,
 	}
 	if arrivalSpec != "" {
 		spec, err := serve.ParseArrival(arrivalSpec)
@@ -234,6 +266,57 @@ func openLoop(h *harness.H, tenantsSpec, arrivalSpec string, slo, horizon time.D
 		return fmt.Errorf("open-loop sweep completed no requests (empty table)")
 	}
 	return nil
+}
+
+// chaosOpenLoop runs the chaos-SLO sweep: fault-injected fleet cost
+// measurement (unhedged and hedged), then the identical open-loop arrival
+// stream through five policy×hedge combos. It fails — making `make chaos-slo`
+// a real gate — when the separation the hedging subsystem exists for does not
+// hold: adaptive+hedge must strictly beat both force-host and unhedged
+// adaptive on worst-tenant p99 and SLO-miss rate.
+func chaosOpenLoop(h *harness.H, faults, tenantsSpec, arrivalSpec string, slo, horizon time.Duration,
+	seed int64, workers, devices int, metrics, deadlines bool) error {
+	opt := harness.ChaosSLOOptions{
+		Faults:       faults,
+		Horizon:      vclock.FromStd(horizon),
+		Seed:         seed,
+		Workers:      workers,
+		UseDeadlines: deadlines,
+	}
+	if devices > 1 {
+		opt.Devices = devices
+	}
+	if tenantsSpec != "" {
+		defSLO := vclock.FromStd(slo)
+		if defSLO <= 0 {
+			defSLO = 10 * vclock.Millisecond
+		}
+		tenants, err := parseTenants(tenantsSpec, defSLO)
+		if err != nil {
+			return err
+		}
+		opt.Tenants = tenants
+	}
+	if arrivalSpec != "" {
+		spec, err := serve.ParseArrival(arrivalSpec)
+		if err != nil {
+			return err
+		}
+		opt.Arrival = spec
+	}
+	rep, err := h.ChaosSLOSweep(os.Stdout, opt)
+	if err != nil {
+		return err
+	}
+	if rep.RatePerTenant > 0 {
+		fmt.Printf("calibrated offered load: %.2f q/s per tenant\n", rep.RatePerTenant)
+	}
+	if metrics {
+		for i, res := range rep.Results {
+			fmt.Printf("\nmetrics (%s %s)\n--------\n%s", rep.Labels[i], res.Policy, rep.Dumps[i])
+		}
+	}
+	return rep.Gate()
 }
 
 // parseTenants accepts either a tenant count ("3") or comma-separated

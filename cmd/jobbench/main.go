@@ -24,6 +24,7 @@ import (
 	"hybridndp/internal/hw"
 	"hybridndp/internal/job"
 	"hybridndp/internal/obs"
+	"hybridndp/internal/vclock"
 )
 
 func main() {
@@ -44,6 +45,8 @@ func main() {
 			"override the shared result-buffer slot size in KiB (0 = model default)")
 		workers = flag.Int("workers", 1,
 			"wall-clock worker goroutines for the sweep experiments and -plans; results are byte-identical to -workers 1")
+		deadline = flag.Duration("deadline", 0,
+			"per-run virtual execution deadline for the chaos sweep and traced runs (0 = none): once a device attempt's virtual clock plus the next backoff would cross it, the executor stops retrying and falls back to the host immediately")
 		faults = flag.String("faults", "",
 			"fault-injection spec (e.g. flash.read.err=0.01,dev.crash@batch=7,slot.corrupt=0.005,dev.stall=2ms,seed=1): run the chaos sweep — every JOB query under its decided strategy with faults injected, verified against a fault-free host-native baseline — then exit; with -trace, trace the query under faults instead")
 		devicesF = flag.String("devices", "",
@@ -144,6 +147,7 @@ func main() {
 		}
 		h.SetBatchSize(*batchN)
 		h.Exec.Faults = faultPlan
+		h.Exec.Deadline = vclock.FromStd(*deadline)
 		tr, err := h.TraceQuery(name, strat)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jobbench:", err)
@@ -180,6 +184,7 @@ func main() {
 		}
 		h.Workers = *workers
 		h.SetBatchSize(*batchN)
+		h.Exec.Deadline = vclock.FromStd(*deadline)
 		var reg *obs.Registry
 		if *metrics {
 			reg = h.BindMetrics(obs.NewRegistry())

@@ -32,7 +32,7 @@ type event struct {
 func main() {
 	slots := flag.Bool("slots", false, "require an explicit device.wait.slot span")
 	chaos := flag.Bool("chaos", false,
-		"require fault-recovery structure: coop.retry and coop.fallback.host spans nested inside a query root span on the host track")
+		"require fault-recovery structure: coop.retry and coop.fallback.host spans nested inside a query root span on the host track (and, when present, fleet.hedge / fleet.deadline.degrade spans too)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: tracecheck [-slots] [-chaos] trace.json")
@@ -56,7 +56,7 @@ func main() {
 	type track struct{ lo, hi float64 }
 	tracks := map[string]*track{}
 	var spans, slotSpans int
-	var hostRoots, hostRetries, hostFallbacks []event
+	var hostRoots, hostRetries, hostFallbacks, hostHedges []event
 	for _, e := range events {
 		switch e.Ph {
 		case "M":
@@ -77,6 +77,8 @@ func main() {
 					hostRetries = append(hostRetries, e)
 				case e.Name == "coop.fallback.host":
 					hostFallbacks = append(hostFallbacks, e)
+				case e.Name == "fleet.hedge" || e.Name == "fleet.deadline.degrade":
+					hostHedges = append(hostHedges, e)
 				}
 			}
 			t := tracks[name]
@@ -136,10 +138,16 @@ func main() {
 		}
 		nested("coop.retry", hostRetries)
 		nested("coop.fallback.host", hostFallbacks)
+		// Hedge and deadline-degrade spans only exist in fleet traces; when
+		// present they must obey the same nesting rule (every robustness
+		// action is attributed to the query that triggered it).
+		if len(hostHedges) > 0 {
+			nested("fleet.hedge/fleet.deadline.degrade", hostHedges)
+		}
 	}
 
-	fmt.Printf("tracecheck: %s ok (%d spans, %d threads, %d slot stalls, %d retries, %d fallbacks)\n",
-		path, spans, len(threads), slotSpans, len(hostRetries), len(hostFallbacks))
+	fmt.Printf("tracecheck: %s ok (%d spans, %d threads, %d slot stalls, %d retries, %d fallbacks, %d hedges)\n",
+		path, spans, len(threads), slotSpans, len(hostRetries), len(hostFallbacks), len(hostHedges))
 }
 
 func fail(format string, args ...any) {

@@ -163,6 +163,17 @@ type Executor struct {
 	// MaxRetries caps device-command retries before host-only fallback
 	// (0 = default of 2, negative = no retries).
 	MaxRetries int
+	// Budget, when set, is the global token-bucket retry budget shared by
+	// every run of this executor (and, in fleet settings, with shard hedges):
+	// each retry spends a token, each successful run refills a fraction, and
+	// a drained bucket sends faulted runs straight to the host fallback so a
+	// fault storm cannot amplify into a retry storm. Nil = unlimited.
+	Budget *fault.RetryBudget
+	// Deadline is the default per-run virtual-time budget (0 = none): once a
+	// faulted device attempt can no longer finish inside it, the run stops
+	// retrying and falls back to the host immediately. RunDeadline overrides
+	// it per run.
+	Deadline vclock.Duration
 	// BatchSize sets the row capacity of the columnar batches the engines
 	// this executor builds process at a time (0 = exec.DefaultBatchSize).
 	// Virtual-time charges are byte-identical for every value; the knob only
@@ -224,6 +235,16 @@ func (x *Executor) Run(p *exec.Plan, s Strategy) (*Report, error) {
 // span site). The trace is per-run state, so one Executor can serve
 // concurrent traced runs, each with its own Trace.
 func (x *Executor) RunTraced(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
+	return x.RunDeadline(p, s, tr, x.Deadline)
+}
+
+// RunDeadline executes like RunTraced under an explicit per-run virtual-time
+// deadline (0 = none). The deadline is advisory for fault recovery, not a
+// hard abort: a fault-free run past its deadline still completes (the serve
+// layer accounts the SLO miss), but a faulted run whose next device attempt
+// cannot fit inside the remaining budget skips the retries and re-executes
+// host-side at once — the cheapest completion still available.
+func (x *Executor) RunDeadline(p *exec.Plan, s Strategy, tr *obs.Trace, deadline vclock.Duration) (*Report, error) {
 	var rep *Report
 	var err error
 	switch s.Kind {
@@ -232,14 +253,17 @@ func (x *Executor) RunTraced(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, 
 	case HostNative:
 		rep, err = x.runHostOnly(p, s, hw.HostRates(x.Model), tr)
 	case NDPOnly:
-		rep, err = x.runNDPOnly(p, s, tr)
+		rep, err = x.runNDPOnly(p, s, tr, deadline)
 	case Hybrid:
-		rep, err = x.runHybrid(p, s, tr)
+		rep, err = x.runHybrid(p, s, tr, deadline)
 	default:
 		return nil, fmt.Errorf("coop: unknown strategy %v", s.Kind)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if rep.FaultRetries == 0 && !rep.FellBack {
+		x.Budget.OnSuccess()
 	}
 	x.recordRun(rep)
 	return rep, nil
@@ -368,8 +392,14 @@ func (x *Executor) chunkCount(p *exec.Plan) int {
 // host-only on the same timeline. Every failed attempt's virtual time is
 // therefore folded into the final report's Elapsed. Non-injected errors
 // (planning bugs, validation) propagate immediately.
+//
+// Two more guards cut the retry loop short: a per-run deadline (a retry whose
+// backoff alone pushes past the remaining virtual budget is pointless — the
+// host fallback is the only completion left worth buying) and the shared
+// retry budget (a drained bucket means the system is already saturated with
+// recovery work, so this run must not add more device attempts).
 func (x *Executor) withRecovery(orig *exec.Plan, s Strategy, tr *obs.Trace,
-	hostTL *vclock.Timeline, attempt func() (*Report, vclock.Time, error)) (*Report, error) {
+	hostTL *vclock.Timeline, deadline vclock.Duration, attempt func() (*Report, vclock.Time, error)) (*Report, error) {
 
 	retries := 0
 	for {
@@ -382,6 +412,18 @@ func (x *Executor) withRecovery(orig *exec.Plan, s Strategy, tr *obs.Trace,
 			return nil, err
 		}
 		if retries >= x.maxRetries() {
+			return x.fallbackHost(orig, s, tr, hostTL, devNow, retries, err)
+		}
+		if deadline > 0 && vclock.Duration(devNow)+retryBackoff(retries+1) >= deadline {
+			if m := x.Metrics; m != nil {
+				m.Counter("coop.deadline.fallback").Inc()
+			}
+			return x.fallbackHost(orig, s, tr, hostTL, devNow, retries, err)
+		}
+		if !x.Budget.Allow() {
+			if m := x.Metrics; m != nil {
+				m.Counter("coop.retry.budget_exhausted").Inc()
+			}
 			return x.fallbackHost(orig, s, tr, hostTL, devNow, retries, err)
 		}
 		retries++
@@ -442,7 +484,7 @@ func (x *Executor) fallbackHost(p *exec.Plan, s Strategy, tr *obs.Trace,
 
 // runNDPOnly offloads the complete plan including grouping/aggregation; the
 // host only issues the command and fetches the final result.
-func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
+func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace, deadline vclock.Duration) (*Report, error) {
 	snap, err := x.snapshotFor(p, -1) // full plan: all tables device-read
 	if err != nil {
 		return nil, err
@@ -456,7 +498,7 @@ func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report,
 	root := tr.Start(hostTL, "query:"+p.Query.Name).Attr("strategy", s.String())
 	defer root.End()
 
-	return x.withRecovery(p, s, tr, hostTL, func() (*Report, vclock.Time, error) {
+	return x.withRecovery(p, s, tr, hostTL, deadline, func() (*Report, vclock.Time, error) {
 		dev := device.New(x.Model, x.Cat)
 		dev.BatchSize = x.BatchSize
 		dev.Trace = tr
@@ -521,7 +563,7 @@ func (x *Executor) runNDPOnly(p *exec.Plan, s Strategy, tr *obs.Trace) (*Report,
 }
 
 // runHybrid is the cooperative execution path.
-func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Report, error) {
+func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace, deadline vclock.Duration) (*Report, error) {
 	p := orig
 	split := s.Split
 	if split == 0 {
@@ -561,7 +603,7 @@ func (x *Executor) runHybrid(orig *exec.Plan, s Strategy, tr *obs.Trace) (*Repor
 
 	// The fallback re-executes the ORIGINAL plan (with its BNLI index joins
 	// intact): the H0 rewrite only makes sense with device-seeded inners.
-	return x.withRecovery(orig, s, tr, hostTL, func() (*Report, vclock.Time, error) {
+	return x.withRecovery(orig, s, tr, hostTL, deadline, func() (*Report, vclock.Time, error) {
 		dev := device.New(x.Model, x.Cat)
 		dev.BatchSize = x.BatchSize
 		dev.Trace = tr

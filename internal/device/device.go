@@ -417,7 +417,22 @@ func (d *Device) RunShard(cmd *Command, pl *exec.Pipeline, eng *exec.Engine,
 	if devSteps < 0 {
 		devSteps = 0
 	}
+	produced := 0
 	return d.streamDrivingRange(cmd, pl, eng, devSteps, lo, hi, func(b Batch) error {
+		if d.Faults != nil {
+			// Per-device fleet chaos: the shard's batches face the same
+			// stall/crash/corrupt draws as the cooperative path (a crash
+			// degrades the whole shard at the fleet layer instead of retrying).
+			ev := d.Faults.BeforeEmit()
+			if ev.Stall > 0 {
+				d.TL.Charge(hw.CatFaultStall, ev.Stall)
+			}
+			if ev.Crash != nil {
+				return fmt.Errorf("device: shard batch %d: %w", produced, ev.Crash)
+			}
+			b.Seal(ev.Corrupt)
+		}
+		produced++
 		b.Ready = d.TL.Now()
 		return emit(b)
 	})
@@ -435,12 +450,23 @@ func (d *Device) ScanLeafPartition(ap exec.AccessPath, eng *exec.Engine, lo, hi 
 	}
 	lsp.AttrInt("rows", int64(cb.Len())).End()
 	d.recordScan(int64(cb.Len()), int64(cb.Len())*width)
-	return Batch{
+	b := Batch{
 		LeafAlias: ap.Ref.Alias,
 		Cols:      cb,
 		Bytes:     int64(cb.Len()) * width,
-		Ready:     d.TL.Now(),
-	}, nil
+	}
+	if d.Faults != nil {
+		ev := d.Faults.BeforeEmit()
+		if ev.Stall > 0 {
+			d.TL.Charge(hw.CatFaultStall, ev.Stall)
+		}
+		if ev.Crash != nil {
+			return Batch{}, fmt.Errorf("device: leaf scan %s: %w", ap.Ref.Alias, ev.Crash)
+		}
+		b.Seal(ev.Corrupt)
+	}
+	b.Ready = d.TL.Now()
+	return b, nil
 }
 
 // streamDrivingRange is streamDriving clipped to [loPart, hiPart).

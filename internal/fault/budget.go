@@ -1,0 +1,78 @@
+package fault
+
+import "sync"
+
+// RetryBudget is a global token-bucket bound on recovery work, shared across
+// every retry and hedge a run issues. Without it an injected fault storm
+// amplifies: every faulted request retries up to its per-request cap, the
+// retries contend with first-attempt work, and the storm outlives the fault.
+// The bucket starts full; each retry or hedge spends one token, and each
+// successful request refills a fraction of a token (so sustained recovery
+// capacity tracks the success rate — the classic "10% retry budget"). When
+// the bucket is empty, callers skip recovery and go straight to the host
+// fallback, which needs no device and therefore cannot amplify.
+//
+// A nil *RetryBudget is an unlimited budget: Allow always grants, OnSuccess
+// is a no-op — fault-free and budget-free paths stay branch-cheap.
+type RetryBudget struct {
+	mu      sync.Mutex
+	tokens  float64 // current balance; guarded by mu
+	max     float64 // bucket capacity; immutable after NewRetryBudget
+	refill  float64 // tokens granted per success; immutable after NewRetryBudget
+	denied  int64   // Allow calls rejected on an empty bucket; guarded by mu
+	granted int64   // Allow calls that spent a token; guarded by mu
+}
+
+// NewRetryBudget builds a budget with the given capacity and per-success
+// refill fraction. Capacity ≤ 0 defaults to 10 tokens; refill ≤ 0 defaults
+// to 0.1 (10% of successes fund a retry).
+func NewRetryBudget(capacity, refillPerSuccess float64) *RetryBudget {
+	if capacity <= 0 {
+		capacity = 10
+	}
+	if refillPerSuccess <= 0 {
+		refillPerSuccess = 0.1
+	}
+	return &RetryBudget{tokens: capacity, max: capacity, refill: refillPerSuccess}
+}
+
+// Allow spends one token for a retry or hedge attempt. It reports false —
+// and the caller must skip the attempt — when the bucket is empty.
+func (b *RetryBudget) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		b.denied++
+		return false
+	}
+	b.tokens--
+	b.granted++
+	return true
+}
+
+// OnSuccess refills the per-success fraction after a request completes
+// without needing recovery, capped at the bucket capacity.
+func (b *RetryBudget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.refill
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Stats returns the grant/deny counters (for tables and tests).
+func (b *RetryBudget) Stats() (granted, denied int64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.granted, b.denied
+}

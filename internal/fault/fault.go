@@ -68,6 +68,10 @@ type Plan struct {
 	// DevStall is an extra device-side latency charged before every emitted
 	// batch ("dev.stall=2ms") — a firmware hiccup, not a failure.
 	DevStall vclock.Duration
+	// perDev holds device-scoped overlays ("dev1:dev.stall=2ms" applies only
+	// to device 1); nil for unscoped plans. ForDevice resolves the effective
+	// plan for one fleet member.
+	perDev map[int]*Plan
 }
 
 // Enabled reports whether the plan injects anything at all.
@@ -75,8 +79,53 @@ func (p *Plan) Enabled() bool {
 	if p == nil {
 		return false
 	}
-	return p.FlashReadErr > 0 || p.CrashProb > 0 || p.CrashAtBatch >= 0 ||
-		p.SlotCorrupt > 0 || p.XferCorrupt > 0 || p.DevStall > 0
+	if p.FlashReadErr > 0 || p.CrashProb > 0 || p.CrashAtBatch >= 0 ||
+		p.SlotCorrupt > 0 || p.XferCorrupt > 0 || p.DevStall > 0 {
+		return true
+	}
+	for _, sub := range p.perDev {
+		if sub.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// ForDevice resolves the effective plan for one fleet device: the unscoped
+// entries apply to every device, and a "devN:"-scoped entry overlays device
+// N's plan. For plans without device scoping the receiver itself is returned,
+// so the single-device paths pay nothing. The overlay shares the base seed;
+// call sites keep per-device draws independent by folding the device id into
+// the Injector run key.
+func (p *Plan) ForDevice(dev int) *Plan {
+	if p == nil || len(p.perDev) == 0 {
+		return p
+	}
+	base := *p
+	base.perDev = nil
+	sub, ok := p.perDev[dev]
+	if !ok {
+		return &base
+	}
+	if sub.FlashReadErr > 0 {
+		base.FlashReadErr = sub.FlashReadErr
+	}
+	if sub.CrashProb > 0 {
+		base.CrashProb = sub.CrashProb
+	}
+	if sub.CrashAtBatch >= 0 {
+		base.CrashAtBatch = sub.CrashAtBatch
+	}
+	if sub.SlotCorrupt > 0 {
+		base.SlotCorrupt = sub.SlotCorrupt
+	}
+	if sub.XferCorrupt > 0 {
+		base.XferCorrupt = sub.XferCorrupt
+	}
+	if sub.DevStall > 0 {
+		base.DevStall = sub.DevStall
+	}
+	return &base
 }
 
 // Parse parses a comma-separated fault spec. Recognized keys:
@@ -88,7 +137,9 @@ func (p *Plan) Enabled() bool {
 //	xfer.corrupt=P      interconnect corruption probability per batch
 //	dev.stall=DUR       extra device latency per batch (ns/us/µs/ms/s)
 //
-// An empty spec yields a disabled plan.
+// A key may carry a device scope prefix ("dev1:dev.stall=2ms"): the entry
+// then applies only to fleet device 1, modeling a single sick device. The
+// seed cannot be scoped. An empty spec yields a disabled plan.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{CrashAtBatch: -1}
 	spec = strings.TrimSpace(spec)
@@ -100,51 +151,81 @@ func Parse(spec string) (*Plan, error) {
 		if part == "" {
 			continue
 		}
-		key, val, ok := strings.Cut(part, "=")
+		kv := part
+		target := p
+		// A colon before the '=' is a device scope: "dev1:dev.stall=2ms".
+		if ci := strings.IndexByte(part, ':'); ci >= 0 && ci < strings.IndexByte(part, '=') {
+			scope := part[:ci]
+			n, err := strconv.Atoi(strings.TrimPrefix(scope, "dev"))
+			if !strings.HasPrefix(scope, "dev") || err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: bad device scope %q (want devN:key=value)", part)
+			}
+			if p.perDev == nil {
+				p.perDev = make(map[int]*Plan)
+			}
+			if p.perDev[n] == nil {
+				p.perDev[n] = &Plan{CrashAtBatch: -1}
+			}
+			target = p.perDev[n]
+			kv = part[ci+1:]
+		}
+		key, val, ok := strings.Cut(kv, "=")
 		if !ok {
 			return nil, fmt.Errorf("fault: %q is not key=value", part)
 		}
 		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
-		switch key {
-		case "flash.read.err":
-			if err := parseProb(val, &p.FlashReadErr); err != nil {
-				return nil, fmt.Errorf("fault: %s: %w", key, err)
-			}
-		case "dev.crash":
-			if err := parseProb(val, &p.CrashProb); err != nil {
-				return nil, fmt.Errorf("fault: %s: %w", key, err)
-			}
-		case "dev.crash@batch":
-			n, err := strconv.Atoi(val)
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("fault: dev.crash@batch needs a batch index ≥ 0, got %q", val)
-			}
-			p.CrashAtBatch = n
-		case "slot.corrupt":
-			if err := parseProb(val, &p.SlotCorrupt); err != nil {
-				return nil, fmt.Errorf("fault: %s: %w", key, err)
-			}
-		case "xfer.corrupt":
-			if err := parseProb(val, &p.XferCorrupt); err != nil {
-				return nil, fmt.Errorf("fault: %s: %w", key, err)
-			}
-		case "dev.stall":
-			d, err := parseDur(val)
-			if err != nil {
-				return nil, fmt.Errorf("fault: dev.stall: %w", err)
-			}
-			p.DevStall = d
-		case "seed":
-			n, err := strconv.ParseInt(val, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("fault: seed: %w", err)
-			}
-			p.Seed = n
-		default:
-			return nil, fmt.Errorf("fault: unknown fault key %q", key)
+		if key == "seed" && target != p {
+			return nil, fmt.Errorf("fault: seed cannot be device-scoped (%q)", part)
+		}
+		if err := applyKV(target, key, val); err != nil {
+			return nil, err
 		}
 	}
 	return p, nil
+}
+
+// applyKV sets one parsed key=value on a plan (the top-level plan or a
+// device-scoped overlay).
+func applyKV(p *Plan, key, val string) error {
+	switch key {
+	case "flash.read.err":
+		if err := parseProb(val, &p.FlashReadErr); err != nil {
+			return fmt.Errorf("fault: %s: %w", key, err)
+		}
+	case "dev.crash":
+		if err := parseProb(val, &p.CrashProb); err != nil {
+			return fmt.Errorf("fault: %s: %w", key, err)
+		}
+	case "dev.crash@batch":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("fault: dev.crash@batch needs a batch index ≥ 0, got %q", val)
+		}
+		p.CrashAtBatch = n
+	case "slot.corrupt":
+		if err := parseProb(val, &p.SlotCorrupt); err != nil {
+			return fmt.Errorf("fault: %s: %w", key, err)
+		}
+	case "xfer.corrupt":
+		if err := parseProb(val, &p.XferCorrupt); err != nil {
+			return fmt.Errorf("fault: %s: %w", key, err)
+		}
+	case "dev.stall":
+		d, err := parseDur(val)
+		if err != nil {
+			return fmt.Errorf("fault: dev.stall: %w", err)
+		}
+		p.DevStall = d
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("fault: seed: %w", err)
+		}
+		p.Seed = n
+	default:
+		return fmt.Errorf("fault: unknown fault key %q", key)
+	}
+	return nil
 }
 
 // String renders the plan back as a canonical spec (sorted key order,
@@ -176,6 +257,23 @@ func (p *Plan) String() string {
 		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
 	}
 	sort.Strings(parts)
+	devs := make([]int, 0, len(p.perDev))
+	for dev := range p.perDev {
+		devs = append(devs, dev)
+	}
+	sort.Ints(devs)
+	for _, dev := range devs {
+		sub := p.perDev[dev]
+		if sub == nil {
+			continue
+		}
+		prefix := "dev" + strconv.Itoa(dev) + ":"
+		for _, sp := range strings.Split(sub.String(), ",") {
+			if sp != "" {
+				parts = append(parts, prefix+sp)
+			}
+		}
+	}
 	return strings.Join(parts, ",")
 }
 

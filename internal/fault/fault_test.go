@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 
 	"hybridndp/internal/vclock"
@@ -14,6 +15,8 @@ func TestParseRoundTrip(t *testing.T) {
 		"dev.crash=0.5,slot.corrupt=0.005",
 		"dev.crash@batch=7,dev.stall=2ms",
 		"dev.crash=1,flash.read.err=0.25,seed=42,slot.corrupt=0.1,xfer.corrupt=0.2",
+		"dev1:dev.stall=2ms",
+		"dev.stall=1ms,dev1:dev.stall=2ms,dev3:dev.crash=0.5,seed=9",
 	}
 	for _, spec := range specs {
 		p, err := Parse(spec)
@@ -24,9 +27,117 @@ func TestParseRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("re-Parse(%q): %v", p.String(), err)
 		}
-		if *p != *p2 {
+		if !reflect.DeepEqual(p, p2) {
 			t.Fatalf("round trip of %q: %+v != %+v", spec, p, p2)
 		}
+		if p.String() != p2.String() {
+			t.Fatalf("String round trip of %q: %q != %q", spec, p.String(), p2.String())
+		}
+	}
+}
+
+// TestDeviceScoping: a devN:-scoped entry applies only to device N; unscoped
+// entries apply fleet-wide; plans without scoping resolve to themselves.
+func TestDeviceScoping(t *testing.T) {
+	p, err := Parse("dev.stall=1ms,dev1:dev.stall=2ms,dev1:slot.corrupt=0.5,dev3:dev.crash=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Enabled() {
+		t.Fatal("scoped plan must be enabled")
+	}
+	d0 := p.ForDevice(0)
+	if d0.DevStall != vclock.Duration(1e6) || d0.SlotCorrupt != 0 || d0.CrashProb != 0 {
+		t.Fatalf("device 0 must see only unscoped entries: %+v", d0)
+	}
+	d1 := p.ForDevice(1)
+	if d1.DevStall != vclock.Duration(2e6) || d1.SlotCorrupt != 0.5 {
+		t.Fatalf("device 1 must see its overlay: %+v", d1)
+	}
+	d3 := p.ForDevice(3)
+	if d3.CrashProb != 1 || d3.DevStall != vclock.Duration(1e6) {
+		t.Fatalf("device 3 must merge overlay with base: %+v", d3)
+	}
+
+	// Scope-only plans are inert on unscoped devices.
+	p2, err := Parse("dev1:dev.crash=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.ForDevice(0).Enabled() {
+		t.Fatal("device 0 must be fault-free under dev1:-scoped plan")
+	}
+	if !p2.ForDevice(1).Enabled() {
+		t.Fatal("device 1 must be faulted")
+	}
+
+	// Unscoped plans return the receiver (no allocation, shared injector seed).
+	p3, err := Parse("dev.crash=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.ForDevice(2) != p3 {
+		t.Fatal("unscoped ForDevice must return the receiver")
+	}
+	var pn *Plan
+	if pn.ForDevice(0) != nil {
+		t.Fatal("nil plan ForDevice must stay nil")
+	}
+}
+
+func TestScopedParseRejectsGarbage(t *testing.T) {
+	for _, spec := range []string{
+		"dev:dev.stall=2ms", "devx:dev.stall=2ms", "dev-1:dev.stall=2ms",
+		"dev1:seed=5", "dev1:bogus=1",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Fatalf("Parse(%q) must fail", spec)
+		}
+	}
+}
+
+// TestRetryBudget: tokens are spent by Allow, refilled fractionally by
+// OnSuccess, and a nil budget is unlimited.
+func TestRetryBudget(t *testing.T) {
+	b := NewRetryBudget(2, 0.5)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("a full bucket must grant its capacity")
+	}
+	if b.Allow() {
+		t.Fatal("an empty bucket must deny")
+	}
+	b.OnSuccess() // 0.5 tokens: still under 1
+	if b.Allow() {
+		t.Fatal("fractional balance below 1 must deny")
+	}
+	b.OnSuccess() // 1.0 tokens
+	if !b.Allow() {
+		t.Fatal("refilled bucket must grant")
+	}
+	granted, denied := b.Stats()
+	if granted != 3 || denied != 2 {
+		t.Fatalf("stats = (%d granted, %d denied), want (3, 2)", granted, denied)
+	}
+	// Refill caps at capacity.
+	for i := 0; i < 100; i++ {
+		b.OnSuccess()
+	}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("capped bucket must hold capacity tokens, failed at %d", i)
+		}
+	}
+	if b.Allow() {
+		t.Fatal("bucket must not exceed capacity")
+	}
+
+	var nb *RetryBudget
+	if !nb.Allow() {
+		t.Fatal("nil budget must be unlimited")
+	}
+	nb.OnSuccess()
+	if g, d := nb.Stats(); g != 0 || d != 0 {
+		t.Fatal("nil budget stats must be zero")
 	}
 }
 

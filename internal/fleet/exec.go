@@ -3,14 +3,18 @@ package fleet
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
+	"strconv"
 	"strings"
 
 	"hybridndp/internal/device"
 	"hybridndp/internal/exec"
+	"hybridndp/internal/fault"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/kv"
 	"hybridndp/internal/lsm"
 	"hybridndp/internal/num"
+	"hybridndp/internal/obs"
 	"hybridndp/internal/table"
 	"hybridndp/internal/vclock"
 )
@@ -39,7 +43,14 @@ type ShardReport struct {
 	// Degraded marks a device-planned shard the admission gate refused; its
 	// partitions executed host-side instead.
 	Degraded bool
-	Reason   string
+	// Crashed marks a shard whose device command died on an injected fault;
+	// its partitions executed host-side instead.
+	Crashed bool
+	// Hedged marks a shard whose host-native backup beat the device on the
+	// virtual timeline (or whose device result would have blown the request
+	// deadline); the merge consumed the host backup's rows.
+	Hedged bool
+	Reason string
 }
 
 // Report is the outcome of one scatter-gather fleet execution.
@@ -55,6 +66,21 @@ type Report struct {
 	TransferredBytes int64
 	Devices          int
 	DegradedShards   int
+	// CrashedShards counts shards abandoned to the host after an injected
+	// device crash; CorruptBatches counts batches that failed host-side
+	// checksum verification (their partitions re-ran host-side).
+	CrashedShards  int
+	CorruptBatches int
+	// HedgesFired / HedgesWon / HedgesLost account hedged shard execution:
+	// fired = a host backup was launched for a slow shard, won = the backup's
+	// estimated finish beat the device and the merge used the host rows,
+	// lost = the device still finished first and the backup was cancelled.
+	HedgesFired int
+	HedgesWon   int
+	HedgesLost  int
+	// DeadlineDegraded counts shards routed to host-side execution because
+	// their device completion would have blown the request deadline.
+	DeadlineDegraded int
 	Shards           []ShardReport
 }
 
@@ -78,6 +104,43 @@ type Executor struct {
 	// executor builds (0 = exec.DefaultBatchSize); charges are byte-identical
 	// at every size.
 	BatchSize int
+	// Faults, when set to an enabled plan, injects per-device faults into the
+	// scatter path (device-scoped entries like "dev1:dev.stall=2ms" hit only
+	// that fleet member). A crashed shard degrades to host-side execution at
+	// its merge position; a corrupt batch re-runs its partition host-side.
+	Faults *fault.Plan
+	// Metrics receives fleet counters (hedges, crashes, degradations); the
+	// registry is race-safe and may be shared. Nil disables recording.
+	Metrics *obs.Registry
+	// Budget, when set, is the shared retry/hedge token budget: launching a
+	// shard hedge spends one token, and a drained bucket suppresses hedging
+	// so fault storms cannot amplify. Nil = unlimited.
+	Budget *fault.RetryBudget
+	// Hedge configures hedged shard execution (disabled by default).
+	Hedge HedgeConfig
+}
+
+// HedgeConfig tunes hedged shard execution: once a shard's device elapsed
+// virtual time exceeds Mult × the Quantile of the admitted shards' EstDevNs
+// (optionally rescaled by the scheduler's EWMA device-calibration factor via
+// Scale), a host-native backup for that shard is launched at the threshold
+// instant, and the merge takes whichever side finishes first on the virtual
+// timeline. Both sides produce the identical tuple stream for the shard's
+// partitions, so fingerprints are unchanged whichever wins.
+type HedgeConfig struct {
+	// Enabled turns hedging on.
+	Enabled bool
+	// Quantile of the admitted shards' device estimates that anchors the
+	// threshold (0 = 0.5, the median).
+	Quantile float64
+	// Mult scales the quantile into the launch threshold (0 = 3): a shard
+	// must look Mult× slower than the typical shard estimate before the
+	// backup spends host work.
+	Mult float64
+	// Scale, when set, rescales the threshold by the scheduler's learned
+	// device calibration factor so hedge launches track real device speed
+	// rather than raw model estimates.
+	Scale func() float64
 }
 
 // NewExecutor builds a fleet executor over the catalog and descriptor.
@@ -142,11 +205,24 @@ type leafKey struct{ step, part int }
 
 // Run executes a planned assignment over the fleet.
 func (x *Executor) Run(a *Assignment) (*Report, error) {
+	return x.RunTraced(a, nil, 0)
+}
+
+// RunTraced executes a planned assignment with structured spans on the host
+// timeline and an optional per-request virtual-time deadline (0 = none). The
+// deadline never aborts the request: a shard whose device completion would
+// land past the deadline is degraded to host-side execution at its merge
+// position — the same partition-preserving path an admission denial takes —
+// so the host stops waiting on stragglers it can out-run.
+func (x *Executor) RunTraced(a *Assignment, tr *obs.Trace, deadline vclock.Duration) (*Report, error) {
 	p := a.Plan
 	rep := &Report{Query: p.Query.Name, Mode: a.Mode, Devices: x.Desc.Devices}
 	hostTL := vclock.NewTimeline("host")
 	hostR := hw.HostRates(x.Model)
 	hostEng := &exec.Engine{Cat: x.Cat, TL: hostTL, R: hostR, Cache: x.hostCache(), BatchSize: x.BatchSize}
+
+	root := tr.Start(hostTL, "query:"+p.Query.Name).Attr("strategy", "fleet:"+a.Label())
+	defer root.End()
 
 	// A host-global decision never scatters: the whole plan runs on the host
 	// exactly like the cooperative baseline.
@@ -213,7 +289,8 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		}
 		releases[dev] = rel
 	}
-	healthy := func(dev int) bool { return wantsDevice(dev) && !degraded[dev] }
+	crashed := make([]bool, nDev)
+	healthy := func(dev int) bool { return wantsDevice(dev) && !degraded[dev] && !crashed[dev] }
 
 	anyDevice := false
 	maxSplit := -1
@@ -248,6 +325,7 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 	}
 	shardChunks := x.chunkCount(p)/nDev + 1
 	devs := make([]*device.Device, nDev)
+	injs := make([]*fault.Injector, nDev)
 	leaves := make(map[leafKey]device.Batch)
 	drivingBatches := make([][]device.Batch, len(a.DrivingParts))
 	shardRows := make([]int64, nDev)
@@ -259,6 +337,13 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		sp := a.Shards[dev]
 		d := device.New(x.Model, x.Cat)
 		d.BatchSize = x.BatchSize
+		d.Trace = tr
+		if fp := x.Faults.ForDevice(dev); fp.Enabled() {
+			// Per-device fault stream: the run key folds in the device id so
+			// one sick device's episode never perturbs its siblings'.
+			injs[dev] = fp.Injector(p.Query.Name + "|" + a.Mode + "|dev" + strconv.Itoa(dev)).Bind(x.Metrics)
+			d.Faults = injs[dev]
+		}
 		devs[dev] = d
 		cmd := &device.Command{Plan: p, SplitAfter: sp.Split, Snapshot: snap, Chunks: shardChunks}
 		if err := d.Validate(cmd); err != nil {
@@ -277,40 +362,111 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		hostTL.Charge(hw.CatNDPSetup, setup)
 		d.TL.WaitUntil(hostTL.Now(), hw.CatNDPSetup)
 
-		// H0: this device ships its partitions of every leaf selection.
-		if a.Mode == ModeH0 {
-			for si, st := range p.Steps {
-				for pi, part := range x.Desc.Parts[st.Right.Ref.Table] {
-					if part.Device != dev {
-						continue
+		devErr := func() error {
+			// H0: this device ships its partitions of every leaf selection.
+			if a.Mode == ModeH0 {
+				for si, st := range p.Steps {
+					for pi, part := range x.Desc.Parts[st.Right.Ref.Table] {
+						if part.Device != dev {
+							continue
+						}
+						b, err := d.ScanLeafPartition(st.Right, eng, part.Lo, part.Hi)
+						if err != nil {
+							return err
+						}
+						leaves[leafKey{si, pi}] = b
+						shardRows[dev] += int64(b.Cols.Len())
+						shardBatches[dev]++
 					}
-					b, err := d.ScanLeafPartition(st.Right, eng, part.Lo, part.Hi)
-					if err != nil {
-						return nil, err
-					}
-					leaves[leafKey{si, pi}] = b
-					shardRows[dev] += int64(b.Cols.Len())
-					shardBatches[dev]++
 				}
 			}
+			// Driving partitions owned by this device, in ascending key order.
+			for pi, part := range a.DrivingParts {
+				if part.Device != dev {
+					continue
+				}
+				slot := pi
+				err := d.RunShard(cmd, dpl, eng, part.Lo, part.Hi, func(b device.Batch) error {
+					drivingBatches[slot] = append(drivingBatches[slot], b)
+					shardRows[dev] += int64(len(b.Tuples))
+					shardBatches[dev]++
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}()
+		if devErr != nil {
+			if !fault.Injected(devErr) {
+				return nil, devErr
+			}
+			// Injected crash: abandon the shard and run its partitions
+			// host-side at their merge positions (the breaker-denial path).
+			// Partial device output is discarded so the merged stream stays
+			// byte-identical to the fault-free run.
+			crashed[dev] = true
+			rep.CrashedShards++
+			x.Metrics.Counter("fleet.shard.crashed").Inc()
+			for si, st := range p.Steps {
+				for pi, part := range x.Desc.Parts[st.Right.Ref.Table] {
+					if part.Device == dev {
+						delete(leaves, leafKey{si, pi})
+					}
+				}
+			}
+			for pi, part := range a.DrivingParts {
+				if part.Device == dev {
+					drivingBatches[pi] = nil
+				}
+			}
+			shardRows[dev], shardBatches[dev] = 0, 0
 		}
-		// Driving partitions owned by this device, in ascending key order.
-		for pi, part := range a.DrivingParts {
-			if part.Device != dev {
+	}
+
+	// Hedge / deadline decision. Every admitted shard's device completion
+	// instant is known here; a shard past the request deadline degrades to
+	// host-side execution outright, and — with hedging on — a shard past the
+	// hedge threshold launches a host-native backup at the threshold instant,
+	// the merge taking whichever side's virtual finish comes first. Either
+	// way the shard's partitions yield the identical tuple stream, so the
+	// choice moves latency, never bytes.
+	hedged := make([]bool, nDev)
+	hedgeFloor := make([]vclock.Time, nDev)
+	thr := x.hedgeThreshold(a, healthy)
+	for dev := 0; dev < nDev; dev++ {
+		if !healthy(dev) {
+			continue
+		}
+		elapsed := devs[dev].TL.Now()
+		if deadline > 0 && vclock.Duration(elapsed) > deadline {
+			hedged[dev] = true
+			rep.DeadlineDegraded++
+			x.Metrics.Counter("fleet.deadline.degraded").Inc()
+			continue
+		}
+		if thr > 0 && float64(elapsed) > thr {
+			if !x.Budget.Allow() {
+				x.Metrics.Counter("fleet.hedge.budget_denied").Inc()
 				continue
 			}
-			slot := pi
-			err := d.RunShard(cmd, dpl, eng, part.Lo, part.Hi, func(b device.Batch) error {
-				drivingBatches[slot] = append(drivingBatches[slot], b)
-				shardRows[dev] += int64(len(b.Tuples))
-				shardBatches[dev]++
-				return nil
-			})
-			if err != nil {
-				return nil, err
+			rep.HedgesFired++
+			x.Metrics.Counter("fleet.hedge.fired").Inc()
+			if thr+a.Shards[dev].EstHostNs < float64(elapsed) {
+				hedged[dev] = true
+				hedgeFloor[dev] = vclock.Time(thr)
+				rep.HedgesWon++
+				x.Metrics.Counter("fleet.hedge.won").Inc()
+			} else {
+				rep.HedgesLost++
+				x.Metrics.Counter("fleet.hedge.lost").Inc()
 			}
 		}
 	}
+	// useDevice: the merge consumes this shard's device batches (admitted,
+	// alive, and not out-raced by its host backup).
+	useDevice := func(dev int) bool { return healthy(dev) && !hedged[dev] }
 
 	// Host prep overlaps the devices' initial execution: pre-build the inner
 	// hash tables of host-side buffered joins (H0 inners are device-seeded
@@ -319,7 +475,7 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		minHostFrom := len(p.Steps)
 		for _, part := range a.DrivingParts {
 			hf := 0
-			if healthy(part.Device) {
+			if useDevice(part.Device) {
 				if hf = a.Shards[part.Device].Split; hf < 0 {
 					hf = 0
 				}
@@ -353,17 +509,38 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		rep.TransferredBytes += b.Bytes
 		rep.Batches++
 	}
+	// verify draws the in-transfer corruption for a sealed batch and checks
+	// its checksum host-side; a failed batch sends its partition to the host
+	// path. Unsealed batches (fault-free runs) skip everything.
+	verify := func(dev int, b device.Batch) bool {
+		if b.Sum == 0 {
+			return true
+		}
+		if injs[dev].TransferCorrupt() {
+			b.CorruptInTransfer()
+		}
+		if b.Verify() != nil {
+			rep.CorruptBatches++
+			x.Metrics.Counter("fleet.batch.corrupt").Inc()
+			return false
+		}
+		return true
+	}
 	if a.Mode == ModeH0 {
 		for si, st := range p.Steps {
 			for pi, part := range x.Desc.Parts[st.Right.Ref.Table] {
-				if b, ok := leaves[leafKey{si, pi}]; ok {
+				if b, ok := leaves[leafKey{si, pi}]; ok && !hedged[part.Device] {
 					fetch(b)
-					if err := hostEng.AppendInnerCols(pl, si, b.Cols); err != nil {
-						return nil, err
+					if verify(part.Device, b) {
+						if err := hostEng.AppendInnerCols(pl, si, b.Cols); err != nil {
+							return nil, err
+						}
+						continue
 					}
-					continue
 				}
-				// Degraded owner: the host scans this leaf partition itself.
+				// Degraded, crashed, hedged or corrupt owner: the host scans
+				// this leaf partition itself.
+				hostTL.WaitUntil(hedgeFloor[part.Device], hw.CatHedgeWait)
 				cb, _, err := hostEng.ScanCols(st.Right, part.Lo, part.Hi)
 				if err != nil {
 					return nil, err
@@ -375,41 +552,73 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		}
 	}
 	var tuples []exec.Tuple
-	joinFrom := func(from int, batch []exec.Tuple) error {
+	joinRange := func(from int, batch []exec.Tuple) ([]exec.Tuple, error) {
 		for si := from; si < len(p.Steps); si++ {
 			var jerr error
 			if batch, jerr = hostEng.JoinStep(pl, si, batch); jerr != nil {
-				return jerr
+				return nil, jerr
 			}
 		}
-		tuples = append(tuples, batch...)
-		return nil
+		return batch, nil
 	}
 	for pi, part := range a.DrivingParts {
 		dev := part.Device
-		if healthy(dev) {
+		fromDevice := false
+		if useDevice(dev) {
+			// Merge the shard's device batches; a corrupt batch abandons the
+			// partition's merged rows and falls through to the host path, so
+			// the final stream carries each partition exactly once.
+			fromDevice = true
+			var partTuples []exec.Tuple
 			hostFrom := a.Shards[dev].Split
 			if hostFrom < 0 {
 				hostFrom = 0
 			}
 			for _, b := range drivingBatches[pi] {
 				fetch(b)
-				if err := joinFrom(hostFrom, b.Tuples); err != nil {
+				if !verify(dev, b) {
+					fromDevice = false
+					break
+				}
+				out, err := joinRange(hostFrom, b.Tuples)
+				if err != nil {
 					return nil, err
 				}
+				partTuples = append(partTuples, out...)
 			}
-			continue
+			if fromDevice {
+				tuples = append(tuples, partTuples...)
+				continue
+			}
 		}
-		// Host shard (planned or degraded): its partition runs entirely
-		// host-side at its merge position, preserving the global order.
+		// Host shard (planned, degraded, crashed, hedged or corrupt): its
+		// partition runs entirely host-side at its merge position, preserving
+		// the global order. A hedge-won shard's backup is floored at the
+		// hedge launch instant — the backup cannot have started earlier.
+		var hsp *obs.Span
+		if hedged[dev] {
+			name := "fleet.deadline.degrade"
+			if hedgeFloor[dev] > 0 {
+				name = "fleet.hedge"
+			}
+			hsp = tr.Start(hostTL, name).AttrInt("device", int64(dev)).AttrInt("partition", int64(pi))
+			hostTL.WaitUntil(hedgeFloor[dev], hw.CatHedgeWait)
+		}
 		rows, _, err := hostEng.ScanAccess(p.Driving, part.Lo, part.Hi)
 		if err != nil {
+			hsp.End()
 			return nil, err
 		}
-		shardRows[dev] += int64(len(rows))
-		if err := joinFrom(0, pl.MakeTuples(rows)); err != nil {
+		if !healthy(dev) {
+			shardRows[dev] += int64(len(rows))
+		}
+		out, err := joinRange(0, pl.MakeTuples(rows))
+		if err != nil {
+			hsp.End()
 			return nil, err
 		}
+		tuples = append(tuples, out...)
+		hsp.End()
 	}
 
 	res, err := hostEng.Finalize(pl, tuples)
@@ -425,6 +634,7 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		sr := ShardReport{
 			Device: dev, Split: sp.Split, Frac: sp.Frac, Reason: sp.Reason,
 			Rows: shardRows[dev], Batches: shardBatches[dev], Degraded: degraded[dev],
+			Crashed: crashed[dev], Hedged: hedged[dev],
 		}
 		for _, part := range a.DrivingParts {
 			if part.Device == dev {
@@ -444,6 +654,45 @@ func (x *Executor) Run(a *Assignment) (*Report, error) {
 		return 0
 	})
 	return rep, nil
+}
+
+// hedgeThreshold derives the virtual-time hedge launch threshold for this
+// assignment: Mult × the Quantile of the admitted shards' device estimates,
+// rescaled by the scheduler's learned device-calibration factor when wired.
+// Anchoring on the shard population's own estimates (rather than a fixed
+// duration) makes the threshold scale-free: a query whose shards are all
+// expensive hedges late, a cheap query's straggler is caught early. Returns 0
+// (hedging off) when disabled or no shard is device-admitted.
+func (x *Executor) hedgeThreshold(a *Assignment, healthy func(int) bool) float64 {
+	if !x.Hedge.Enabled {
+		return 0
+	}
+	var ests []float64
+	for dev := range a.Shards {
+		if healthy(dev) {
+			ests = append(ests, a.Shards[dev].EstDevNs)
+		}
+	}
+	if len(ests) == 0 {
+		return 0
+	}
+	sort.Float64s(ests)
+	q := x.Hedge.Quantile
+	if q <= 0 || q > 1 {
+		q = 0.5
+	}
+	idx := int(q*float64(len(ests)-1) + 0.5)
+	mult := x.Hedge.Mult
+	if mult <= 0 {
+		mult = 3
+	}
+	scale := 1.0
+	if x.Hedge.Scale != nil {
+		if s := x.Hedge.Scale(); s > 0 {
+			scale = s
+		}
+	}
+	return mult * scale * ests[idx]
 }
 
 // Fingerprint digests a result for byte-identity comparison: column names,

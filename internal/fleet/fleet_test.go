@@ -3,8 +3,10 @@ package fleet
 import (
 	"testing"
 
+	"hybridndp/internal/fault"
 	"hybridndp/internal/job"
 	"hybridndp/internal/optimizer"
+	"hybridndp/internal/vclock"
 )
 
 // denyGate denies admission to a fixed set of devices and records the
@@ -180,5 +182,164 @@ func TestSingleDeviceShardPlanMirrorsGlobalDecision(t *testing.T) {
 		if a.Shards[0].Split != d.Split {
 			t.Fatalf("%s: shard split H%d, global decision H%d", q.Name, a.Shards[0].Split, d.Split)
 		}
+	}
+}
+
+// TestHedgeFingerprintUnchanged is the hedging correctness gate: for every
+// JOB query, a 4-device fleet run with aggressive hedging (threshold far
+// below every shard's elapsed, so backups launch fleet-wide) produces a
+// result fingerprint byte-identical to the unhedged run. Hedge wins consume
+// the host backup's rows, hedge losses the device's — either way the merged
+// stream must be the same stream.
+func TestHedgeFingerprintUnchanged(t *testing.T) {
+	ds := testDataset(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	desc, err := Build(ds.Cat, 4, SchemeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	hedged := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	hedged.Hedge = HedgeConfig{Enabled: true, Mult: 0.001}
+
+	fired, won, lost := 0, 0, 0
+	for _, q := range job.Queries() {
+		d, err := opt.Decide(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := PlanShards(opt, desc, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := plain.Run(a)
+		if err != nil {
+			t.Fatalf("%s: plain: %v", q.Name, err)
+		}
+		rep, err := hedged.Run(a)
+		if err != nil {
+			t.Fatalf("%s: hedged: %v", q.Name, err)
+		}
+		if got, want := Fingerprint(rep.Result), Fingerprint(base.Result); got != want {
+			t.Fatalf("%s: hedged fingerprint %s != unhedged %s", q.Name, got, want)
+		}
+		fired += rep.HedgesFired
+		won += rep.HedgesWon
+		lost += rep.HedgesLost
+		if rep.HedgesFired != rep.HedgesWon+rep.HedgesLost {
+			t.Fatalf("%s: hedge accounting fired=%d won=%d lost=%d", q.Name, rep.HedgesFired, rep.HedgesWon, rep.HedgesLost)
+		}
+	}
+	if fired == 0 {
+		t.Fatal("aggressive hedge config fired no hedges across the suite")
+	}
+	if won == 0 || lost == 0 {
+		t.Fatalf("hedge suite should exercise both outcomes: won=%d lost=%d (fired=%d)", won, lost, fired)
+	}
+}
+
+// TestDeadlineDegradesShards pins mid-gather deadline propagation: a deadline
+// tighter than any device shard's elapsed degrades every device-side shard to
+// host execution at its merge position, the report says so, and the result is
+// unchanged.
+func TestDeadlineDegradesShards(t *testing.T) {
+	ds := testDataset(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	d := deviceQuery(t, opt)
+	desc, err := Build(ds.Cat, 4, SchemeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PlanShards(opt, desc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	base, err := x.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := x.RunTraced(a, nil, vclock.Duration(1)) // 1ns: nothing device-side can finish
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DeadlineDegraded == 0 {
+		t.Fatalf("1ns deadline degraded no shards: %+v", rep)
+	}
+	if got, want := Fingerprint(rep.Result), Fingerprint(base.Result); got != want {
+		t.Fatalf("deadline-degraded fingerprint %s != baseline %s", got, want)
+	}
+	// A roomy deadline changes nothing.
+	loose, err := x.RunTraced(a, nil, base.Elapsed*1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.DeadlineDegraded != 0 {
+		t.Fatalf("roomy deadline still degraded %d shards", loose.DeadlineDegraded)
+	}
+	if loose.Elapsed != base.Elapsed {
+		t.Fatalf("roomy deadline changed elapsed: %v != %v", loose.Elapsed, base.Elapsed)
+	}
+}
+
+// TestFleetChaosFingerprintUnchanged injects a device-scoped crash and
+// interconnect corruption into a 4-device fleet run: the crashed shard and
+// every corrupt batch re-run host-side, the report accounts them, and the
+// answer never changes.
+func TestFleetChaosFingerprintUnchanged(t *testing.T) {
+	ds := testDataset(t)
+	opt := optimizer.New(ds.Cat, ds.Model)
+	d := deviceQuery(t, opt)
+	desc, err := Build(ds.Cat, 4, SchemeRange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PlanShards(opt, desc, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	base, err := clean.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pl, err := fault.Parse("dev1:dev.crash@batch=0,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	x.Faults = pl
+	rep, err := x.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CrashedShards != 1 || !rep.Shards[1].Crashed {
+		t.Fatalf("scoped crash accounting: %+v", rep)
+	}
+	for i, sr := range rep.Shards {
+		if i != 1 && sr.Crashed {
+			t.Fatalf("crash leaked to device %d", i)
+		}
+	}
+	if got := Fingerprint(rep.Result); got != Fingerprint(base.Result) {
+		t.Fatal("crashed fleet changed the result")
+	}
+
+	pl2, err := fault.Parse("xfer.corrupt=1,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+	x2.Faults = pl2
+	rep2, err := x2.Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Batches > 0 && rep2.CorruptBatches == 0 {
+		t.Fatalf("xfer.corrupt=1 corrupted nothing across %d batches", rep2.Batches)
+	}
+	if got := Fingerprint(rep2.Result); got != Fingerprint(base.Result) {
+		t.Fatal("corrupt transfers changed the result")
 	}
 }

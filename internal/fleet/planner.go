@@ -37,6 +37,10 @@ type ShardPlan struct {
 	// EstDevNs is the cost model's estimate of the shard's device-side work,
 	// fed to per-shard admission.
 	EstDevNs float64
+	// EstHostNs estimates what this shard's partitions would cost executed
+	// host-native (the shard's share of the plan's host-only total), fed to
+	// the hedge winner decision.
+	EstHostNs float64
 	// Mem is the device DRAM reservation of the shard command.
 	Mem device.MemoryPlan
 }
@@ -120,9 +124,10 @@ func PlanShards(opt *optimizer.Optimizer, desc *Descriptor, d *optimizer.Decisio
 		for dev := range a.Shards {
 			a.Shards[dev] = ShardPlan{
 				Device: dev, Frac: fracs[dev], Split: -1,
-				Reason:   "single-table scan offload",
-				EstDevNs: fracs[dev] * d.Costs.NDPTotal,
-				Mem:      device.PlanMemory(opt.Model, p, -1),
+				Reason:    "single-table scan offload",
+				EstDevNs:  fracs[dev] * d.Costs.NDPTotal,
+				EstHostNs: fracs[dev] * d.Costs.HostTotal,
+				Mem:       device.PlanMemory(opt.Model, p, -1),
 			}
 		}
 	case d.NDP:
@@ -130,9 +135,10 @@ func PlanShards(opt *optimizer.Optimizer, desc *Descriptor, d *optimizer.Decisio
 		for dev := range a.Shards {
 			a.Shards[dev] = ShardPlan{
 				Device: dev, Frac: fracs[dev], Split: len(p.Steps),
-				Reason:   "full NDP offload",
-				EstDevNs: fracs[dev] * d.Costs.NDPTotal,
-				Mem:      device.PlanMemory(opt.Model, p, len(p.Steps)),
+				Reason:    "full NDP offload",
+				EstDevNs:  fracs[dev] * d.Costs.NDPTotal,
+				EstHostNs: fracs[dev] * d.Costs.HostTotal,
+				Mem:       device.PlanMemory(opt.Model, p, len(p.Steps)),
 			}
 		}
 	case d.Split == 0:
@@ -142,9 +148,10 @@ func PlanShards(opt *optimizer.Optimizer, desc *Descriptor, d *optimizer.Decisio
 		for dev := range a.Shards {
 			a.Shards[dev] = ShardPlan{
 				Device: dev, Frac: fracs[dev], Split: -1,
-				Reason:   "H0 leaf offload",
-				EstDevNs: fracs[dev] * d.Costs.DevPart[0],
-				Mem:      device.PlanMemory(opt.Model, p, -1),
+				Reason:    "H0 leaf offload",
+				EstDevNs:  fracs[dev] * d.Costs.DevPart[0],
+				EstHostNs: fracs[dev] * d.Costs.HostTotal,
+				Mem:       device.PlanMemory(opt.Model, p, -1),
 			}
 		}
 	default:
@@ -154,7 +161,8 @@ func PlanShards(opt *optimizer.Optimizer, desc *Descriptor, d *optimizer.Decisio
 			if err != nil {
 				return nil, err
 			}
-			sp := ShardPlan{Device: dev, Frac: fracs[dev], Reason: sd.Reason}
+			sp := ShardPlan{Device: dev, Frac: fracs[dev], Reason: sd.Reason,
+				EstHostNs: fracs[dev] * d.Costs.HostTotal}
 			if sd.Hybrid {
 				sp.Split = sd.Split
 				sp.EstDevNs = sd.Costs.DevPart[sd.Split]

@@ -37,6 +37,9 @@ type SLOOptions struct {
 	// QueueDepth and Quantum pass through to serve.Config when > 0.
 	QueueDepth int
 	Quantum    vclock.Duration
+	// UseDeadlines turns on deadline shedding (arrival + tenant SLO) in every
+	// serving run.
+	UseDeadlines bool
 }
 
 // SLOReport is the sweep's outcome: one serving run per policy over the
@@ -107,15 +110,16 @@ func (h *H) SLOSweep(w io.Writer, opt SLOOptions) (*SLOReport, error) {
 	for _, pol := range sloPolicies {
 		reg := obs.NewRegistry()
 		srv, err := serve.New(h.DS, ct, serve.Config{
-			Tenants:    tenants,
-			Arrival:    arrival,
-			Policy:     pol,
-			QueueDepth: opt.QueueDepth,
-			Quantum:    opt.Quantum,
-			Horizon:    opt.Horizon,
-			Seed:       opt.Seed,
-			Metrics:    reg,
-			Queries:    queries,
+			Tenants:      tenants,
+			Arrival:      arrival,
+			Policy:       pol,
+			QueueDepth:   opt.QueueDepth,
+			Quantum:      opt.Quantum,
+			Horizon:      opt.Horizon,
+			Seed:         opt.Seed,
+			Metrics:      reg,
+			Queries:      queries,
+			UseDeadlines: opt.UseDeadlines,
 		})
 		if err != nil {
 			return nil, err

@@ -29,6 +29,10 @@ const (
 	CatFaultStall = "fault (device stall)"
 	CatFaultWait  = "fault (host wait for failure)"
 	CatBackoff    = "fault (retry backoff)"
+
+	// CatHedgeWait floors a hedged shard's host backup at the hedge launch
+	// instant (fleet hedging; zero on hedge-free runs).
+	CatHedgeWait = "hedge (host backup floor)"
 )
 
 // Baseline host-side primitive costs. These are the single calibration point

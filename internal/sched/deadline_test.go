@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hybridndp/internal/clock"
+	"hybridndp/internal/coop"
+	"hybridndp/internal/fault"
+	"hybridndp/internal/job"
+	"hybridndp/internal/obs"
+)
+
+// TestDeadlinePropagation follows one request deadline through all three
+// layers it can die in: the admission queue (wall clock), a cooperative
+// retry loop (virtual execution budget) and a fleet gather (per-shard
+// degradation). In every case the request either fails with ErrExpired or
+// completes with the exact host-native answer — a deadline changes latency
+// and placement, never a result.
+func TestDeadlinePropagation(t *testing.T) {
+	t.Run("queue", func(t *testing.T) {
+		opt, exec, m := fixture(t)
+		fc := clock.NewFake()
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		cfg.Clock = fc
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		s := New(opt, exec, m, cfg)
+		q := job.Queries()[0]
+		tickets := make([]*Ticket, 0, 8)
+		for i := 0; i < 8; i++ {
+			tk, err := s.SubmitDeadline(context.Background(), q, Normal, Deadline{Wall: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tickets = append(tickets, tk)
+		}
+		fc.Advance(time.Second)
+		s.Close()
+		expired := 0
+		for _, tk := range tickets {
+			o := tk.Outcome()
+			if o == nil {
+				t.Fatal("ticket unresolved after Close")
+			}
+			if o.Err != nil {
+				if !errors.Is(o.Err, ErrExpired) {
+					t.Fatalf("queue-dead outcome = %v, want ErrExpired", o.Err)
+				}
+				expired++
+			}
+		}
+		if expired == 0 {
+			t.Fatal("no ticket expired past its wall deadline")
+		}
+		if reg.Counter("sched.rejected.expired").Value() == 0 {
+			t.Fatal("expiry counter never incremented")
+		}
+	})
+
+	t.Run("mid-retry", func(t *testing.T) {
+		opt, _, m := fixture(t)
+		q := ndpFeasibleQuery(t, opt, m)
+		d, err := opt.Decide(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := coop.NewExecutor(dsInst.Cat, dsInst.DB, m)
+		hostRep, err := base.Run(d.Plan, coop.Strategy{Kind: coop.HostNative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := fault.Parse("dev.crash@batch=0,seed=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		x := coop.NewExecutor(dsInst.Cat, dsInst.DB, m)
+		x.Faults = pl
+		x.Metrics = reg
+		// 1ns of execution budget: the very first injected crash lands past
+		// the deadline, so the executor must skip its retry/backoff loop and
+		// fall back to the host immediately.
+		rep, err := x.RunDeadline(d.Plan, coop.Strategy{Kind: coop.NDPOnly}, nil, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.FellBack {
+			t.Fatal("deadline-dead retry did not fall back to host")
+		}
+		if rep.FaultRetries != 0 {
+			t.Fatalf("executor retried %d times against a 1ns budget", rep.FaultRetries)
+		}
+		if got := reg.Counter("coop.deadline.fallback").Value(); got != 1 {
+			t.Fatalf("coop.deadline.fallback = %d, want 1", got)
+		}
+		if reg.Counter("coop.retry").Value() != 0 {
+			t.Fatal("retry counter moved despite the deadline guard")
+		}
+		if rep.Result.RowCount != hostRep.Result.RowCount {
+			t.Fatal("deadline fallback changed the result")
+		}
+	})
+
+	t.Run("mid-gather", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		reg := obs.NewRegistry()
+		cfg.Metrics = reg
+		s, _ := fleetFixture(t, cfg)
+		defer s.Close()
+		q := deviceBoundQuery(t, s.opt)
+		tk, err := s.SubmitDeadline(context.Background(), q, Normal, Deadline{Exec: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := tk.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		if !o.Degraded {
+			t.Fatal("1ns exec deadline did not degrade the fleet gather")
+		}
+		if reg.Counter("fleet.deadline.degraded").Value() == 0 {
+			t.Fatal("fleet deadline-degradation counter never incremented")
+		}
+		d, err := s.opt.Decide(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hostRep, err := s.exec.Run(d.Plan, coop.Strategy{Kind: coop.HostNative})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Report == nil || o.Report.Result.RowCount != hostRep.Result.RowCount {
+			t.Fatal("deadline-degraded fleet run changed the result")
+		}
+	})
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
@@ -99,5 +100,89 @@ func TestAdmissionErrorContract(t *testing.T) {
 	}
 	if o.Err != nil && !errors.Is(o.Err, ErrExpired) {
 		t.Fatalf("outcome err = %v, want ErrExpired", o.Err)
+	}
+
+	// Per-ticket wall deadline: expiry works with no scheduler-wide
+	// QueryTimeout at all, and still reads as ErrExpired (never as
+	// ErrQueueFull or ErrClosed).
+	fc2 := clock.NewFake()
+	cfg = DefaultConfig()
+	cfg.Workers = 1
+	cfg.Clock = fc2
+	s4 := New(opt, exec, m, cfg)
+	tickets = tickets[:0]
+	for i := 0; i < 8; i++ {
+		tk, err := s4.SubmitDeadline(context.Background(), q, Normal, Deadline{Wall: time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets = append(tickets, tk)
+	}
+	fc2.Advance(time.Second)
+	s4.Close()
+	sawExpired = false
+	for _, tk := range tickets {
+		o := tk.Outcome()
+		if o == nil {
+			t.Fatal("deadline ticket unresolved after Close")
+		}
+		if o.Err != nil {
+			if !errors.Is(o.Err, ErrExpired) ||
+				errors.Is(o.Err, ErrQueueFull) || errors.Is(o.Err, ErrClosed) {
+				t.Fatalf("outcome err = %v, want exactly ErrExpired", o.Err)
+			}
+			sawExpired = true
+		}
+	}
+	if !sawExpired {
+		t.Fatal("no ticket expired despite clock jump past its wall deadline")
+	}
+}
+
+// TestAgingScanExpiresQueuedTickets pins the expiry sweep: a ticket whose
+// wall deadline passed while queued is rejected during the every-fourth-pop
+// aging scan — freeing its bounded-queue slot — instead of lingering until a
+// worker pops it. The queue is driven directly with a fake clock so the
+// sweep's behavior is deterministic.
+func TestAgingScanExpiresQueuedTickets(t *testing.T) {
+	fc := clock.NewFake()
+	cfg := DefaultConfig()
+	cfg.Clock = fc
+	s := &Scheduler{cfg: cfg.withDefaults(), stats: newCollector(1, 1)}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull = sync.NewCond(&s.mu)
+	q := job.Queries()[0]
+	enq := func(dl Deadline) *Ticket {
+		tk := &Ticket{query: q, priority: Normal, ctx: context.Background(),
+			submitted: fc.Now(), deadline: dl, done: make(chan struct{})}
+		s.queues[Normal] = append(s.queues[Normal], tk)
+		s.queued++
+		return tk
+	}
+	dead1 := enq(Deadline{Wall: time.Millisecond})
+	alive := enq(Deadline{})
+	dead2 := enq(Deadline{Wall: 2 * time.Millisecond})
+	fc.Advance(10 * time.Millisecond)
+
+	// The next pop is the fourth dispatch: the sweep must reject both
+	// deadline-dead tickets in place and the aged pick returns the survivor.
+	s.popCount = 3
+	if got := s.popLocked(); got != alive {
+		t.Fatalf("aged pop returned %+v, want the deadline-free ticket", got)
+	}
+	for i, tk := range []*Ticket{dead1, dead2} {
+		o := tk.Outcome()
+		if o == nil {
+			t.Fatalf("expired ticket %d not resolved by the aging scan", i)
+		}
+		if !errors.Is(o.Err, ErrExpired) {
+			t.Fatalf("expired ticket %d err = %v, want ErrExpired", i, o.Err)
+		}
+	}
+	if s.queued != 0 {
+		t.Fatalf("queued = %d after sweep+pop, want 0", s.queued)
+	}
+	if st := s.stats.snapshot(); st.Rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", st.Rejected)
 	}
 }

@@ -62,11 +62,12 @@ func fleetDeviceBusy(r *fleet.Report) vclock.Duration {
 // back to plain host-native execution if the fleet run fails outright.
 func (s *Scheduler) processFleet(t *Ticket, base *Outcome, d *optimizer.Decision) {
 	m := s.cfg.Metrics
+	tr := s.cfg.Traces.New(t.query.Name)
 	s.ledger.AddHost(d.Costs.HostTotal)
 	a, err := fleet.PlanShards(s.opt, s.cfg.Fleet.Desc, d)
 	var frep *fleet.Report
 	if err == nil {
-		frep, err = s.cfg.Fleet.Run(a)
+		frep, err = s.cfg.Fleet.RunTraced(a, tr, t.deadline.Exec)
 	}
 	if err != nil {
 		// The cooperative single-device path falls back to the host on device
@@ -74,7 +75,7 @@ func (s *Scheduler) processFleet(t *Ticket, base *Outcome, d *optimizer.Decision
 		base.Chosen = coop.Strategy{Kind: coop.HostNative}.String()
 		base.Degraded = true
 		m.Counter("sched.fallback.host").Inc()
-		rep, herr := s.exec.RunTraced(d.Plan, coop.Strategy{Kind: coop.HostNative}, s.cfg.Traces.New(t.query.Name))
+		rep, herr := s.exec.RunTraced(d.Plan, coop.Strategy{Kind: coop.HostNative}, tr)
 		if herr != nil {
 			base.Err = herr
 			s.recordOutcome(base, 0, 0)
@@ -89,7 +90,7 @@ func (s *Scheduler) processFleet(t *Ticket, base *Outcome, d *optimizer.Decision
 		return
 	}
 	base.Chosen = "fleet:" + a.Label()
-	base.Degraded = frep.DegradedShards > 0
+	base.Degraded = frep.DegradedShards > 0 || frep.DeadlineDegraded > 0
 	if base.Degraded {
 		m.Counter("sched.fleet.degraded_runs").Inc()
 	}

@@ -161,6 +161,18 @@ var (
 	ErrExpired   = errors.New("sched: ticket expired in queue")
 )
 
+// Deadline bounds one request end to end. The two clocks a request spans get
+// one bound each: Wall limits the wall-clock time the ticket may spend in the
+// admission queue (like Config.QueryTimeout, but per request — whichever is
+// tighter wins), and Exec is the virtual-time budget forwarded into the
+// executor, where it stops retries that cannot finish in time (coop) and
+// degrades too-slow shards to host execution at their merge position (fleet).
+// The zero Deadline imposes no bound on either clock.
+type Deadline struct {
+	Wall time.Duration
+	Exec vclock.Duration
+}
+
 // Ticket is one submitted query's handle: it resolves to an Outcome once the
 // query ran (or was rejected).
 type Ticket struct {
@@ -168,6 +180,7 @@ type Ticket struct {
 	priority  Priority
 	ctx       context.Context
 	submitted time.Time
+	deadline  Deadline
 
 	done    chan struct{}
 	outcome Outcome
@@ -244,6 +257,15 @@ func New(opt *optimizer.Optimizer, exec *coop.Executor, m hw.Model, cfg Config) 
 	s.ledger.bindMetrics(cfg.Metrics)
 	if cfg.Fleet != nil {
 		cfg.Fleet.Gate = &fleetGate{l: s.ledger, m: cfg.Metrics}
+		if cfg.Fleet.Metrics == nil {
+			cfg.Fleet.Metrics = cfg.Metrics
+		}
+		if cfg.Fleet.Hedge.Enabled && cfg.Fleet.Hedge.Scale == nil {
+			// Hedge thresholds scale with the calibration loop's EWMA of
+			// actual/estimate device time, so a fleet whose devices run slower
+			// than the model predicts does not hedge every shard.
+			cfg.Fleet.Hedge.Scale = s.calib.deviceFactor
+		}
 	}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull = sync.NewCond(&s.mu)
@@ -257,10 +279,18 @@ func New(opt *optimizer.Optimizer, exec *coop.Executor, m hw.Model, cfg Config) 
 // Submit enqueues a query, blocking while the admission queue is full
 // (backpressure) until space frees up, ctx is done, or the scheduler closes.
 func (s *Scheduler) Submit(ctx context.Context, q *query.Query, prio Priority) (*Ticket, error) {
+	return s.SubmitDeadline(ctx, q, prio, Deadline{})
+}
+
+// SubmitDeadline enqueues like Submit with a per-request deadline attached:
+// the ticket expires in queue (ErrExpired on its Outcome) once its wall wait
+// exceeds dl.Wall, and dl.Exec rides along into the executor as the virtual
+// execution budget. The zero Deadline makes this identical to Submit.
+func (s *Scheduler) SubmitDeadline(ctx context.Context, q *query.Query, prio Priority, dl Deadline) (*Ticket, error) {
 	if prio < High || prio > Batch {
 		prio = Normal
 	}
-	t := &Ticket{query: q, priority: prio, ctx: ctx, submitted: s.cfg.Clock.Now(), done: make(chan struct{})}
+	t := &Ticket{query: q, priority: prio, ctx: ctx, submitted: s.cfg.Clock.Now(), deadline: dl, done: make(chan struct{})}
 	stop := context.AfterFunc(ctx, func() {
 		s.mu.Lock()
 		s.notFull.Broadcast()
@@ -328,13 +358,75 @@ func (s *Scheduler) publishQueueLocked(p Priority) {
 	m.Gauge("sched.queue.depth").SetInt(int64(s.queued))
 }
 
+// wallLimit is the ticket's effective wall-clock queue bound: the tighter of
+// the scheduler-wide QueryTimeout and the ticket's own deadline (0 = none).
+func (s *Scheduler) wallLimit(t *Ticket) time.Duration {
+	limit := s.cfg.QueryTimeout
+	if d := t.deadline.Wall; d > 0 && (limit == 0 || d < limit) {
+		limit = d
+	}
+	return limit
+}
+
+// expireLocked sweeps deadline-dead tickets out of every class queue: a
+// ticket whose wall wait already exceeds its limit (or whose context is done)
+// is finished with ErrExpired right away instead of occupying a bounded-queue
+// slot until a worker happens to pop it. Caller holds s.mu; the sweep runs on
+// the same every-fourth-dispatch cadence as priority aging, so its cost is
+// amortized and the queue-order fast path stays untouched.
+func (s *Scheduler) expireLocked() {
+	now := s.cfg.Clock.Now()
+	freed := false
+	for p := range s.queues {
+		kept := s.queues[p][:0]
+		for _, t := range s.queues[p] {
+			wait := now.Sub(t.submitted)
+			limit := s.wallLimit(t)
+			var ctxErr error
+			if t.ctx != nil {
+				ctxErr = t.ctx.Err()
+			}
+			if ctxErr == nil && (limit <= 0 || wait <= limit) {
+				kept = append(kept, t)
+				continue
+			}
+			s.stats.rejected()
+			s.cfg.Metrics.Counter("sched.rejected.expired").Inc()
+			s.cfg.Metrics.Counter("sched.queue.aged_expiry").Inc()
+			err := ctxErr
+			if err != nil {
+				err = fmt.Errorf("%w: %v", ErrExpired, err)
+			} else {
+				err = fmt.Errorf("%w: queue wait %v exceeded limit %v", ErrExpired, wait, limit)
+			}
+			t.finish(Outcome{Query: t.query.Name, Priority: t.priority, QueueWait: wait, Device: -1, Err: err})
+			s.queued--
+			freed = true
+		}
+		if len(kept) != len(s.queues[p]) {
+			// Zero the freed tail so expired tickets do not linger reachable.
+			for i := len(kept); i < len(s.queues[p]); i++ {
+				s.queues[p][i] = nil
+			}
+			s.queues[p] = kept
+			s.publishQueueLocked(Priority(p))
+		}
+	}
+	if freed {
+		s.notFull.Broadcast()
+	}
+}
+
 // popLocked removes the next ticket: priority order normally, and every
 // fourth dispatch the oldest ticket across all classes (aging), so a steady
-// stream of high-priority work cannot starve the batch class.
+// stream of high-priority work cannot starve the batch class. The aging
+// dispatch doubles as the expiry sweep: before picking the oldest ticket,
+// tickets already past their wall deadline are rejected in place.
 func (s *Scheduler) popLocked() *Ticket {
 	s.popCount++
 	pick := -1
 	if s.popCount%4 == 0 {
+		s.expireLocked()
 		var oldest time.Time
 		for p := range s.queues {
 			if len(s.queues[p]) == 0 {
@@ -379,6 +471,10 @@ func (s *Scheduler) worker() {
 		t := s.popLocked()
 		s.notFull.Signal()
 		s.mu.Unlock()
+		if t == nil {
+			// The expiry sweep drained the queue before the pick.
+			continue
+		}
 		s.process(t)
 	}
 }
@@ -422,10 +518,13 @@ func (s *Scheduler) process(t *Ticket) {
 		t.finish(base)
 		return
 	}
-	if s.cfg.QueryTimeout > 0 && wait > s.cfg.QueryTimeout {
+	if limit := s.wallLimit(t); limit > 0 && wait > limit {
 		s.stats.rejected()
 		m.Counter("sched.rejected.expired").Inc()
-		base.Err = fmt.Errorf("%w: queue wait %v exceeded timeout %v", ErrExpired, wait, s.cfg.QueryTimeout)
+		if t.deadline.Wall > 0 && (s.cfg.QueryTimeout == 0 || t.deadline.Wall < s.cfg.QueryTimeout) {
+			m.Counter("sched.rejected.deadline").Inc()
+		}
+		base.Err = fmt.Errorf("%w: queue wait %v exceeded timeout %v", ErrExpired, wait, limit)
 		t.finish(base)
 		return
 	}
@@ -466,7 +565,7 @@ func (s *Scheduler) process(t *Ticket) {
 
 	tr := s.cfg.Traces.New(t.query.Name)
 	s.ledger.AddHost(cand.hostNs)
-	rep, err := s.exec.RunTraced(d.Plan, cand.strat, tr)
+	rep, err := s.exec.RunDeadline(d.Plan, cand.strat, tr, t.deadline.Exec)
 	if dev >= 0 {
 		// Feed the breaker: a command only counts as a device success when it
 		// actually completed on the device — an executor-level host fallback

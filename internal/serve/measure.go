@@ -7,6 +7,7 @@ import (
 
 	"hybridndp/internal/coop"
 	"hybridndp/internal/device"
+	"hybridndp/internal/fleet"
 	"hybridndp/internal/job"
 	"hybridndp/internal/optimizer"
 	"hybridndp/internal/query"
@@ -106,6 +107,105 @@ func MeasureBatched(ds *job.Dataset, queries []*query.Query, workers, batchSize 
 		ct.meanHost = sum / vclock.Duration(len(queries))
 	}
 	return ct, nil
+}
+
+// MeasureFleet measures the workload's cost table through sharded fleet
+// execution instead of the single-device cooperative path: Host stays the
+// coop host-native elapsed (the fallback lane never touches the fleet), while
+// the decided strategy and the full-NDP alternative run scatter-gather
+// through fx — with whatever fault plan and hedge configuration fx carries
+// baked into the memoized service times. This is how chaos reaches the
+// serving simulation: a per-device stall inflates the measured device paths,
+// and hedging caps that inflation, so the open-loop SLO tables replay the
+// fleet's robustness behavior exactly. Every fleet result is
+// fingerprint-checked against the host-native execution — faults and hedges
+// may degrade latency, never correctness — and a mismatch fails the
+// measurement. The table is byte-identical for any worker count; a shared
+// retry budget on fx would break that (token order follows wall-clock
+// interleaving), so measurement forces workers to 1 when one is set.
+func MeasureFleet(ds *job.Dataset, queries []*query.Query, fx *fleet.Executor, workers int) (*CostTable, error) {
+	opt := optimizer.New(ds.Cat, ds.Model)
+	ex := coop.NewExecutor(ds.Cat, ds.DB, ds.Model)
+	ex.BatchSize = fx.BatchSize
+	if fx.Budget != nil {
+		workers = 1
+	}
+	costs := make([]*QueryCost, len(queries))
+	errs := make([]error, len(queries))
+	forEach(workers, len(queries), func(i int) {
+		costs[i], errs[i] = measureOneFleet(opt, ex, fx, ds, queries[i])
+	})
+	ct := &CostTable{byName: make(map[string]*QueryCost, len(queries))}
+	var sum vclock.Duration
+	for i, q := range queries {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("serve: measure fleet %s: %w", q.Name, errs[i])
+		}
+		if _, dup := ct.byName[q.Name]; dup {
+			return nil, fmt.Errorf("serve: duplicate workload query name %s", q.Name)
+		}
+		ct.byName[q.Name] = costs[i]
+		ct.names = append(ct.names, q.Name)
+		sum += costs[i].Host
+	}
+	if len(queries) > 0 {
+		ct.meanHost = sum / vclock.Duration(len(queries))
+	}
+	return ct, nil
+}
+
+func measureOneFleet(opt *optimizer.Optimizer, ex *coop.Executor, fx *fleet.Executor, ds *job.Dataset, q *query.Query) (*QueryCost, error) {
+	d, err := opt.Decide(q)
+	if err != nil {
+		return nil, err
+	}
+	qc := &QueryCost{Decision: d, Decided: decidedStrategy(d)}
+	hostRep, err := ex.Run(d.Plan, coop.Strategy{Kind: coop.HostNative})
+	if err != nil {
+		return nil, err
+	}
+	qc.Host = hostRep.Elapsed
+	hostFP := fleet.Fingerprint(hostRep.Result)
+	runFleet := func(dec *optimizer.Decision) (vclock.Duration, error) {
+		a, err := fleet.PlanShards(opt, fx.Desc, dec)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := fx.Run(a)
+		if err != nil {
+			return 0, err
+		}
+		if fp := fleet.Fingerprint(rep.Result); fp != hostFP {
+			return 0, fmt.Errorf("fleet result fingerprint %s != host %s (mode %s)", fp, hostFP, a.Label())
+		}
+		return rep.Elapsed, nil
+	}
+	if device.PlanMemory(ds.Model, d.Plan, len(d.Plan.Steps)).Fits() {
+		nd := *d
+		nd.NDP, nd.Hybrid = true, false
+		elapsed, err := runFleet(&nd)
+		if err != nil {
+			return nil, err
+		}
+		qc.NDP = elapsed
+		qc.NDPFeasible = true
+	}
+	switch qc.Decided.Kind {
+	case coop.HostNative:
+		qc.Dec = qc.Host
+	case coop.NDPOnly:
+		if !qc.NDPFeasible {
+			return nil, fmt.Errorf("serve: decision picked NDP for %s but the plan does not fit device memory", q.Name)
+		}
+		qc.Dec = qc.NDP
+	default: // hybrid
+		elapsed, err := runFleet(d)
+		if err != nil {
+			return nil, err
+		}
+		qc.Dec = elapsed
+	}
+	return qc, nil
 }
 
 func measureOne(opt *optimizer.Optimizer, ex *coop.Executor, ds *job.Dataset, q *query.Query) (*QueryCost, error) {

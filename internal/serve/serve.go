@@ -112,6 +112,13 @@ type Config struct {
 	// FleetSpec tags plan-cache keys with the device topology (default
 	// "single").
 	FleetSpec string
+	// UseDeadlines turns tenant SLOs into hard per-request deadlines
+	// (deadline = arrival + SLO): a picked request whose earliest feasible
+	// completion already blows its deadline is shed (ErrDeadlineExceeded,
+	// counted per tenant) instead of burning a lane on work nobody can use.
+	// Tenants with SLO 0 are never shed. Off by default — SLOs then stay
+	// observational, as before.
+	UseDeadlines bool
 }
 
 func (c Config) withDefaults(m hw.Model) Config {
@@ -274,11 +281,14 @@ type TenantResult struct {
 	Name                                              string
 	Weight                                            int
 	Requests, Completed, QuotaRejected, QueueRejected int
-	SLOMissed                                         int
-	P50, P95, P99                                     vclock.Duration
-	MeanLatency                                       vclock.Duration
-	SLO                                               vclock.Duration
-	MissRate                                          float64
+	// DeadlineRejected counts requests shed under Config.UseDeadlines because
+	// their earliest feasible completion already blew arrival + SLO.
+	DeadlineRejected int
+	SLOMissed        int
+	P50, P95, P99    vclock.Duration
+	MeanLatency      vclock.Duration
+	SLO              vclock.Duration
+	MissRate         float64
 }
 
 // Result is one serving run's outcome.
@@ -286,6 +296,7 @@ type Result struct {
 	Policy                                            sched.Policy
 	Tenants                                           []TenantResult
 	Requests, Completed, QuotaRejected, QueueRejected int
+	DeadlineRejected                                  int
 	Makespan                                          vclock.Duration
 	ThroughputQPS                                     float64
 	CacheHits, CacheMisses, CacheEvictions            int64
@@ -438,8 +449,8 @@ func (s *Server) genArrivals() []*request {
 
 // tenantAcc accumulates one tenant's per-run counts.
 type tenantAcc struct {
-	requests, completed, quotaRej, queueRej, missed int
-	latSum                                          vclock.Duration
+	requests, completed, quotaRej, queueRej, deadlineRej, missed int
+	latSum                                                       vclock.Duration
 }
 
 // admit classifies one arrival: nil (queued), ErrQuotaExceeded (token bucket
@@ -464,6 +475,28 @@ func (s *Server) admit(r *request, now vclock.Time, w *wfq, b *tokenBucket, acc 
 	}
 	s.m.Counter("serve.admitted").Inc()
 	return nil
+}
+
+// shed classifies a picked request against its deadline (arrival + tenant
+// SLO) under UseDeadlines: when the chosen placement's completion already
+// blows the deadline, the request is rejected here — deadline propagation's
+// serving-level analog of the scheduler's reject-on-arrival. Shedding at pick
+// time is safe because lane frees only move later: no future placement of
+// this request could complete earlier than the one just computed.
+func (s *Server) shed(r *request, p placement, acc *tenantAcc) error {
+	tc := s.cfg.Tenants[r.tenant]
+	if !s.cfg.UseDeadlines || tc.SLO <= 0 {
+		return nil
+	}
+	deadline := r.arrival.Add(tc.SLO)
+	if p.completion() <= deadline {
+		return nil
+	}
+	acc.deadlineRej++
+	s.m.Counter("serve.rejected.deadline").Inc()
+	s.m.Counter("serve.rejected.deadline." + tc.Name).Inc()
+	return fmt.Errorf("%w: tenant %s completion %v past deadline %v",
+		ErrDeadlineExceeded, tc.Name, p.completion(), deadline)
 }
 
 // Run executes one open-loop serving simulation and returns its SLO
@@ -494,6 +527,13 @@ func (s *Server) Run() (*Result, error) {
 			p, err := s.place(pending, now, L)
 			if err != nil {
 				return nil, err
+			}
+			if err := s.shed(pending, p, &acc[pending.tenant]); err != nil {
+				if !errors.Is(err, ErrDeadlineExceeded) {
+					return nil, err
+				}
+				pending = nil
+				continue
 			}
 			pendingP = p
 		}
@@ -570,7 +610,8 @@ func (s *Server) result(acc []tenantAcc, makespan vclock.Time, h0, m0, e0 int64)
 			Name: tc.Name, Weight: tc.Weight, SLO: tc.SLO,
 			Requests: a.requests, Completed: a.completed,
 			QuotaRejected: a.quotaRej, QueueRejected: a.queueRej,
-			SLOMissed: a.missed,
+			DeadlineRejected: a.deadlineRej,
+			SLOMissed:        a.missed,
 		}
 		hist := s.m.Histogram("serve.latency.ns."+tc.Name, LatencyBuckets)
 		tr.P50 = Quantile(hist, 0.50)
@@ -585,6 +626,7 @@ func (s *Server) result(acc []tenantAcc, makespan vclock.Time, h0, m0, e0 int64)
 		res.Completed += a.completed
 		res.QuotaRejected += a.quotaRej
 		res.QueueRejected += a.queueRej
+		res.DeadlineRejected += a.deadlineRej
 	}
 	if res.Makespan > 0 {
 		res.ThroughputQPS = float64(res.Completed) / res.Makespan.Seconds()

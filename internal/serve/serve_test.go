@@ -10,6 +10,8 @@ import (
 	"testing"
 
 	"hybridndp/internal/coop"
+	"hybridndp/internal/fault"
+	"hybridndp/internal/fleet"
 	"hybridndp/internal/hw"
 	"hybridndp/internal/job"
 	"hybridndp/internal/obs"
@@ -470,5 +472,180 @@ func TestCacheSteadyState(t *testing.T) {
 	}
 	if res2.CacheMisses != 0 {
 		t.Fatalf("warm run missed %d times", res2.CacheMisses)
+	}
+}
+
+// TestDeadlineErrorDistinct pins the serving-layer admission-error contract:
+// a deadline shed is its own typed sentinel, distinguishable (errors.Is) from
+// quota rejections, queue backpressure and scheduler ticket expiry.
+func TestDeadlineErrorDistinct(t *testing.T) {
+	s := newServer(t, Config{
+		Queries:      subset(4),
+		Tenants:      []TenantConfig{{Name: "t0", SLO: vclock.Microsecond}},
+		UseDeadlines: true,
+	})
+	var acc tenantAcc
+	r := &request{tenant: 0, name: subset(4)[0].Name, arrival: 0}
+	p := placement{svc: vclock.Millisecond, start: 0, host: 0, dev: -1}
+	err := s.shed(r, p, &acc)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("shed past deadline: got %v, want ErrDeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrQuotaExceeded) || errors.Is(err, sched.ErrQueueFull) || errors.Is(err, sched.ErrExpired) {
+		t.Fatalf("deadline shed must not read as quota/queue-full/sched-expired: %v", err)
+	}
+	if acc.deadlineRej != 1 {
+		t.Fatalf("deadlineRej = %d, want 1", acc.deadlineRej)
+	}
+	// Within the deadline: no shed.
+	fast := placement{svc: vclock.Duration(100), start: 0, host: 0, dev: -1}
+	if err := s.shed(r, fast, &acc); err != nil {
+		t.Fatalf("placement inside deadline shed anyway: %v", err)
+	}
+	// Deadlines off: never shed.
+	s.cfg.UseDeadlines = false
+	if err := s.shed(r, p, &acc); err != nil {
+		t.Fatalf("UseDeadlines off must never shed: %v", err)
+	}
+}
+
+// TestDeadlineShedding runs the open-loop simulation with hard deadlines on:
+// under overload a tight-SLO tenant sheds work (DeadlineRejected > 0), the
+// request-conservation identity extends to the new class, every completed
+// request of a shedding tenant met its deadline, and the run stays
+// byte-deterministic.
+func TestDeadlineShedding(t *testing.T) {
+	cfg := serveCfg(subset(16), sched.ForceHost, 7)
+	cfg.UseDeadlines = true
+	// Saturate the host lanes so queue waits push completions past the SLOs.
+	cfg.Arrival.Rate = 4000
+	for i := range cfg.Tenants {
+		cfg.Tenants[i].SLO = 2 * vclock.Millisecond
+		cfg.Tenants[i].QuotaQPS = 0
+	}
+	run := func() (*Result, string) {
+		s := newServer(t, cfg)
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fmt.Sprintf("%+v", res)
+	}
+	res, r1 := run()
+	_, r2 := run()
+	if r1 != r2 {
+		t.Fatalf("deadline runs differ across identical configs:\n%s\n%s", r1, r2)
+	}
+	if res.DeadlineRejected == 0 {
+		t.Fatalf("overloaded force-host run with hard deadlines shed nothing: %+v", res)
+	}
+	if res.Completed+res.QuotaRejected+res.QueueRejected+res.DeadlineRejected != res.Requests {
+		t.Fatalf("request conservation with deadline shedding: %+v", res)
+	}
+	for _, tr := range res.Tenants {
+		if tr.SLO > 0 && tr.DeadlineRejected > 0 && tr.SLOMissed > 0 {
+			t.Fatalf("%s: hard deadlines on, yet a dispatched request missed its SLO: %+v", tr.Name, tr)
+		}
+	}
+	off := cfg
+	off.UseDeadlines = false
+	s3 := newServer(t, off)
+	res3, err := s3.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.DeadlineRejected != 0 {
+		t.Fatalf("UseDeadlines off still shed: %+v", res3)
+	}
+}
+
+// TestMeasureFleet covers the fleet-aware cost measurement: fault-free fleet
+// measurement agrees with the coop table on the host column, a device-scoped
+// stall inflates the measured device paths (and only those), hedging caps the
+// inflation, every fleet result fingerprint-matches host execution (or the
+// measurement errors), and the table is byte-identical across worker counts.
+func TestMeasureFleet(t *testing.T) {
+	ds, ct := fixture(t)
+	qs := subset(12)
+	desc, err := fleet.Build(ds.Cat, 4, "range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newFX := func(spec string, hedge bool) *fleet.Executor {
+		fx := fleet.NewExecutor(ds.Cat, ds.DB, ds.Model, desc)
+		if spec != "" {
+			pl, err := fault.Parse(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fx.Faults = pl
+		}
+		if hedge {
+			fx.Hedge = fleet.HedgeConfig{Enabled: true}
+		}
+		return fx
+	}
+
+	clean, err := MeasureFleet(ds, qs, newFX("", false), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		qc, _ := clean.Cost(q.Name)
+		ref, _ := ct.Cost(q.Name)
+		if qc.Host != ref.Host {
+			t.Fatalf("%s: fleet-measured host %v != coop-measured host %v", q.Name, qc.Host, ref.Host)
+		}
+	}
+
+	stalled, err := MeasureFleet(ds, qs, newFX("dev1:dev.stall=2ms", false), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflated := 0
+	for _, q := range qs {
+		sc, _ := stalled.Cost(q.Name)
+		cc, _ := clean.Cost(q.Name)
+		if sc.Host != cc.Host {
+			t.Fatalf("%s: a device-scoped stall moved the host column: %v vs %v", q.Name, sc.Host, cc.Host)
+		}
+		if sc.NDPFeasible && sc.NDP > cc.NDP {
+			inflated++
+		}
+	}
+	if inflated == 0 {
+		t.Fatal("dev1:dev.stall=2ms inflated no device path across the subset")
+	}
+
+	hedged, err := MeasureFleet(ds, qs, newFX("dev1:dev.stall=2ms", true), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := 0
+	for _, q := range qs {
+		hc, _ := hedged.Cost(q.Name)
+		sc, _ := stalled.Cost(q.Name)
+		if hc.NDPFeasible && hc.NDP < sc.NDP {
+			capped++
+		}
+		if hc.NDPFeasible && hc.NDP > sc.NDP {
+			t.Fatalf("%s: hedging made the stalled NDP path slower: %v > %v", q.Name, hc.NDP, sc.NDP)
+		}
+	}
+	if capped == 0 {
+		t.Fatal("hedging capped no stalled device path across the subset")
+	}
+
+	again, err := MeasureFleet(ds, qs, newFX("dev1:dev.stall=2ms", true), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		a, _ := again.Cost(q.Name)
+		b, _ := hedged.Cost(q.Name)
+		if a.Decided != b.Decided || a.Host != b.Host || a.Dec != b.Dec ||
+			a.NDP != b.NDP || a.NDPFeasible != b.NDPFeasible {
+			t.Fatalf("%s: MeasureFleet differs across worker counts: %+v vs %+v", q.Name, a, b)
+		}
 	}
 }

@@ -16,6 +16,16 @@ import (
 // two very differently, so callers can errors.Is on each.
 var ErrQuotaExceeded = errors.New("serve: tenant quota exceeded")
 
+// ErrDeadlineExceeded marks a request shed because it could not complete
+// within its deadline (arrival + tenant SLO, when Config.UseDeadlines is on).
+// It is distinct from ErrQuotaExceeded (the tenant's own token bucket ran
+// dry), from sched.ErrQueueFull (bounded-queue backpressure) and from
+// sched.ErrExpired (a scheduler ticket aged out on the wall clock): a
+// deadline shed means the system was too loaded to finish the work in time,
+// and chose not to start it — capacity planning reads it as an overload
+// signal, not an admission-policy one.
+var ErrDeadlineExceeded = errors.New("serve: request deadline exceeded")
+
 // Prepared is one prepared statement: SQL text compiled to the logical query
 // model and re-rendered to its canonical form, which is the plan-cache key
 // text shared by every session preparing an equivalent statement.
